@@ -1,0 +1,41 @@
+"""Shared benchmark-harness settings.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+it.  Because a full paper-scale run of Figure 4 takes tens of minutes,
+benchmarks default to a reduced-but-shape-preserving configuration and
+honour two environment variables:
+
+``REPRO_SCALE``
+    Workload scale in (0, 1] (fraction of the 88-job Table II mix per
+    bin).  Default 0.25.
+``REPRO_FULL``
+    Set to ``1`` to run the paper-exact configuration (scale 1.0, all 12
+    Figure 4 node counts, 3 runs per point).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+SCALE = 1.0 if FULL else float(os.environ.get("REPRO_SCALE", "0.25"))
+
+#: Figure 4 x-axis used by the benches.
+if FULL:
+    FIG4_NODE_COUNTS = (40, 50, 55, 60, 99, 100, 132, 160, 171, 180, 974, 1101)
+    FIG4_RUNS = 3
+else:
+    FIG4_NODE_COUNTS = (40, 55, 100, 160, 200)
+    FIG4_RUNS = 1
+
+#: Node count for 55-node experiments (Fig 5 / ablations).
+FIG5_NODES = 55
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table so it lands in the benchmark log.
+
+    Writes to the real stderr (``sys.__stderr__``) so the tables survive
+    pytest's per-test capture and appear in ``bench_output.txt``."""
+    print("\n" + text, file=sys.__stderr__, flush=True)

@@ -1,0 +1,57 @@
+"""Ablation — failure-detection speed: 30 s (HOG) vs ~15 min (stock).
+
+"In HOG, we decreased the time between heartbeat messages and decreased
+the timeout time for the worker nodes.  If the worker nodes do not report
+every 30 seconds, then the node is marked dead ... The traditional value
+... is 15 minutes." (§III-B)
+
+With slow detection, work on preempted nodes sits unnoticed and blocks on
+them are not repaired, inflating response time under churn.
+"""
+
+import pytest
+
+from repro.experiments.ablations import ablate_failure_detection
+
+import sys
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _util import FIG5_NODES, SCALE, emit
+
+
+@pytest.fixture(scope="module")
+def results():
+    return ablate_failure_detection(timeouts=(30.0, 900.0),
+                                    n_nodes=FIG5_NODES,
+                                    scale=min(SCALE, 0.25))
+
+
+def test_ablation_failure_detection(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Ablation: dead-node detection timeout under churn"]
+    for timeout, res in sorted(results.items()):
+        c = res.counters
+        lines.append(
+            f"  timeout={timeout:5.0f}s: response={res.response_time:.0f}s "
+            f"trackers_lost={c.get('trackers_lost', 0)} "
+            f"maps_reexecuted={c.get('maps_reexecuted', 0)} "
+            f"failed_jobs={res.failed_jobs}")
+    emit("\n".join(lines))
+
+
+def test_fast_detection_is_strictly_better_under_churn(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # asserts run under --benchmark-only
+    # Slow detection hurts in one of two ways: work on unnoticed-dead
+    # nodes inflates response, or (worse) whole jobs fail because lost
+    # map outputs / replicas are never repaired in time.
+    fast, slow = results[30.0], results[900.0]
+    assert fast.failed_jobs == 0
+    if slow.failed_jobs == 0:
+        assert fast.response_time < slow.response_time
+    else:
+        assert slow.failed_jobs > fast.failed_jobs
+
+
+def test_fast_detection_notices_losses(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # asserts run under --benchmark-only
+    fast = results[30.0]
+    assert fast.counters.get("trackers_lost", 0) > 0

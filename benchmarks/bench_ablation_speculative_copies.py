@@ -1,0 +1,50 @@
+"""Ablation — configurable task copies (§VI future work).
+
+"Currently, Hadoop only uses multiple executions for slower tasks (1/3
+slower than average) execution, and at most two copies for a task.  In
+our future work, we will make all tasks have configurable number of
+copies running in the HOG and take the fastest as the result."
+
+This bench implements that future-work feature: copies=1 (speculation
+off), 2 (stock), 3 (the proposed extension) under an unstable grid.
+"""
+
+import pytest
+
+from repro.experiments.ablations import ablate_speculative_copies
+
+import sys
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _util import FIG5_NODES, SCALE, emit
+
+
+@pytest.fixture(scope="module")
+def results():
+    return ablate_speculative_copies(copies=(1, 2, 3), n_nodes=FIG5_NODES,
+                                     scale=min(SCALE, 0.25))
+
+
+def test_ablation_speculative_copies(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Ablation: max task copies (N-copy execution, §VI)"]
+    for n, res in sorted(results.items()):
+        c = res.counters
+        lines.append(
+            f"  copies={n}: response={res.response_time:.0f}s "
+            f"speculative={c.get('speculative_attempts', 0)} "
+            f"killed={c.get('speculative_attempts_killed', 0)} "
+            f"failed_jobs={res.failed_jobs}")
+    emit("\n".join(lines))
+    assert set(results) == {1, 2, 3}
+
+
+def test_all_copy_settings_complete(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # asserts run under --benchmark-only
+    for res in results.values():
+        assert res.failed_jobs == 0
+
+
+def test_more_copies_never_fewer_backups(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # asserts run under --benchmark-only
+    # copies=1 disables speculation entirely.
+    assert results[1].counters.get("speculative_attempts", 0) == 0

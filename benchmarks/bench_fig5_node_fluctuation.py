@@ -1,0 +1,72 @@
+"""Figure 5 — node fluctuation during three 55-node executions.
+
+Two stable runs (5a, 5b) and one unstable run (5c).  Checks the paper's
+qualitative observations:
+
+- the reported node count fluctuates (dips on preemption, recovers as the
+  factory resubmits, briefly exceeds the believed count after abrupt
+  losses);
+- the unstable run shows substantially more fluctuation than the stable
+  ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+
+import sys
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _util import FIG5_NODES, SCALE, emit
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return run_fig5(target_nodes=FIG5_NODES, scale=SCALE)
+
+
+def test_fig5_regenerate(benchmark, fig5_result):
+    def series_stats():
+        out = {}
+        for run in fig5_result.runs:
+            times, values = run.series
+            out[run.label] = (float(values.min()), float(values.max()))
+        return out
+
+    stats = benchmark(series_stats)
+    lines = [f"Figure 5: node counts during execution (target {FIG5_NODES})"]
+    for run in fig5_result.runs:
+        lo, hi = stats[run.label]
+        kind = "stable" if run.stable else "UNSTABLE"
+        lines.append(f"  {run.label} ({kind:8s}): nodes in [{lo:.0f}, {hi:.0f}]"
+                     f" mean={run.mean_nodes:.1f}"
+                     f" response={run.response_time:.0f}s")
+    emit("\n".join(lines))
+    from repro.metrics import plot_series
+    for run in fig5_result.runs:
+        times, values = run.series
+        emit(plot_series(times, values, y_max=FIG5_NODES * 1.3,
+                         title=f"Figure {run.label}: available nodes"))
+
+
+def test_fig5_all_runs_complete_workload(benchmark, fig5_result):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # asserts run under --benchmark-only
+    for run in fig5_result.runs:
+        assert run.response_time > 0
+        assert run.area > 0
+
+
+def test_fig5_nodes_fluctuate_under_churn(benchmark, fig5_result):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # asserts run under --benchmark-only
+    for run in fig5_result.runs:
+        times, values = run.series
+        assert len(values) > 1
+        # Some loss must be visible below the target at some point.
+        assert values.min() < FIG5_NODES
+
+def test_fig5_unstable_run_fluctuates_more(benchmark, fig5_result):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # asserts run under --benchmark-only
+    stable_means = [r.mean_nodes for r in fig5_result.runs if r.stable]
+    unstable_means = [r.mean_nodes for r in fig5_result.runs if not r.stable]
+    # The unstable execution delivers fewer average nodes.
+    assert min(stable_means) > max(unstable_means)

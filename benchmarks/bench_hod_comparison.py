@@ -1,0 +1,39 @@
+"""Related-work comparison — HOG vs Hadoop On Demand (§V).
+
+"For frequent MapReduce requests, HOD has high reconstruction overhead,
+fixed node number, and a randomly chosen head node.  Compared to HOD, HOG
+does not have reconstruction time."
+
+Runs the same (scaled) Table II job mix both ways and quantifies HOD's
+per-request reconstruction overhead.
+"""
+
+import pytest
+
+from repro.experiments.ablations import compare_hod
+
+import sys
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _util import FIG5_NODES, SCALE, emit
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_hod(n_nodes=FIG5_NODES, scale=min(SCALE, 0.1))
+
+
+def test_hod_comparison(benchmark, comparison):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(comparison.to_table())
+
+
+def test_hog_beats_hod_on_frequent_requests(benchmark, comparison):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # asserts run under --benchmark-only
+    assert comparison.hog_response < comparison.hod_total_response
+
+
+def test_hod_overhead_is_substantial(benchmark, comparison):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # asserts run under --benchmark-only
+    # Allocation + construction + staging must be a visible share of
+    # each HOD request.
+    assert comparison.hod_mean_overhead_fraction > 0.10

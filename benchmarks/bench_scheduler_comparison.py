@@ -1,0 +1,52 @@
+"""Extension — scheduler comparison: FIFO vs delay scheduling vs
+matchmaking.
+
+HOG uses stock FIFO + speculation (§III-B2); the paper's bibliography
+carries both alternatives ([3] Zaharia et al.'s delay scheduling — whose
+workload the evaluation borrows — and [20] the authors' own matchmaking).
+This bench runs all three on the same low-replication workload and
+compares map-launch locality.
+"""
+
+import pytest
+
+from repro.experiments.ablations import compare_schedulers
+
+import sys
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _util import SCALE, emit
+
+
+@pytest.fixture(scope="module")
+def results():
+    return compare_schedulers(n_nodes=40, scale=min(SCALE, 0.25))
+
+
+def _local_fraction(res):
+    total = sum(res.locality.values()) or 1
+    return res.locality["data_local"] / total
+
+
+def test_scheduler_comparison(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Scheduler comparison (replication 2, 40 nodes)"]
+    for name, res in results.items():
+        lines.append(
+            f"  {name:12s}: response={res.response_time:.0f}s "
+            f"data_local={100 * _local_fraction(res):.0f}% "
+            f"failed_jobs={res.failed_jobs}")
+    emit("\n".join(lines))
+    assert set(results) == {"fifo", "delay", "matchmaking"}
+
+
+def test_all_schedulers_complete_workload(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # asserts run under --benchmark-only
+    for res in results.values():
+        assert res.failed_jobs == 0
+
+
+def test_locality_schedulers_beat_fifo(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # asserts run under --benchmark-only
+    fifo = _local_fraction(results["fifo"])
+    assert _local_fraction(results["delay"]) >= fifo * 0.95
+    assert _local_fraction(results["matchmaking"]) >= fifo * 0.95

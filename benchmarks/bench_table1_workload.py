@@ -1,0 +1,42 @@
+"""Table I — the Facebook production workload bins.
+
+Regenerates the table from the workload generator and checks every row
+against the paper's published values.  The benchmark times workload
+generation (sampling a full 88-job schedule).
+"""
+
+import numpy as np
+
+from repro.experiments.tables import render_table1
+from repro.workload import FACEBOOK_BINS, build_facebook_schedule
+
+import sys
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _util import emit
+
+
+PAPER_TABLE1 = [
+    # (bin, maps label, %jobs, #maps in benchmark, #jobs in benchmark)
+    (1, "1", 39.0, 1, 38),
+    (2, "2", 16.0, 2, 16),
+    (3, "3-20", 14.0, 10, 14),
+    (4, "21-60", 9.0, 50, 8),
+    (5, "61-150", 6.0, 100, 6),
+    (6, "151-300", 6.0, 200, 6),
+    (7, "301-500", 4.0, 400, 4),
+    (8, "501-1500", 4.0, 800, 4),
+    (9, ">1501", 3.0, 4800, 4),
+]
+
+
+def test_table1_rows_match_paper(benchmark):
+    def generate():
+        return build_facebook_schedule(np.random.default_rng(0))
+
+    schedule = benchmark(generate)
+    assert len(schedule) == 88
+
+    for b, row in zip(FACEBOOK_BINS, PAPER_TABLE1):
+        assert (b.bin_id, b.maps_label, b.percent_at_facebook,
+                b.maps_in_benchmark, b.jobs_in_benchmark) == row
+    emit(render_table1())

@@ -1,0 +1,36 @@
+"""Table II — the truncated six-bin workload with reduce counts.
+
+Checks the (map, reduce) pairs against the paper and benchmarks the full
+submission-schedule construction used by every experiment.
+"""
+
+import numpy as np
+
+from repro.experiments.tables import render_table2
+from repro.workload import TRUNCATED_REDUCES, build_facebook_schedule, truncated_bins
+
+import sys
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _util import emit
+
+PAPER_TABLE2 = {1: (1, 1), 2: (2, 1), 3: (10, 5), 4: (50, 10),
+                5: (100, 20), 6: (200, 30)}
+
+
+def test_table2_matches_paper(benchmark):
+    def build():
+        return build_facebook_schedule(np.random.default_rng(1))
+
+    schedule = benchmark(build)
+
+    for b in truncated_bins():
+        maps, reduces = PAPER_TABLE2[b.bin_id]
+        assert b.maps_in_benchmark == maps
+        assert b.reduces_in_benchmark == reduces
+    assert TRUNCATED_REDUCES == {k: v[1] for k, v in PAPER_TABLE2.items()}
+
+    # Every scheduled job carries Table II's counts.
+    for job in schedule.jobs:
+        maps, reduces = PAPER_TABLE2[job.bin_id]
+        assert job.spec.num_maps == maps and job.spec.num_reduces == reduces
+    emit(render_table2())

@@ -1,0 +1,36 @@
+"""Table III — the dedicated MapReduce cluster configuration.
+
+Builds the baseline cluster, verifies its shape against the paper
+(30 workers, 100 map slots = 100 cores, 30 reduce slots, one rack), and
+benchmarks cluster construction + daemon registration.
+"""
+
+from repro.baselines import DedicatedCluster, table3_config
+from repro.experiments.tables import render_table3
+from repro.sim import Simulator
+
+import sys
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _util import emit
+
+
+def test_table3_cluster_matches_paper(benchmark):
+    def build():
+        sim = Simulator()
+        cluster = DedicatedCluster(sim, table3_config())
+        sim.run(until=10.0)  # registration heartbeats
+        return cluster
+
+    cluster = benchmark(build)
+    cfg = cluster.config
+    assert cfg.total_nodes == 30
+    assert cfg.total_map_slots == 100
+    assert cfg.total_reduce_slots == 30
+    assert cfg.groups[0].count == 20 and cfg.groups[0].map_slots == 4
+    assert cfg.groups[1].count == 10 and cfg.groups[1].map_slots == 2
+    assert cluster.namenode.num_live_datanodes() == 30
+    assert cluster.jobtracker.live_tracker_count() == 30
+    # "one rack": a single site/failure domain.
+    assert len({cluster.topology.site_of(h)
+                for h in cluster.tasktrackers}) == 1
+    emit(render_table3(cfg))

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Elastic grow/shrink (§IV-C) and the HDFS balancer.
+
+"If users want to increase the number of nodes in the HOG, they can submit
+more Condor jobs for extra nodes.  They can use the HDFS balancer to
+balance the data distribution."
+
+This example grows a HOG deployment mid-run, shows that fresh nodes join
+empty, runs the balancer, and prints utilization before/after.
+
+Run:  python examples/elastic_scaling.py
+"""
+
+import numpy as np
+
+from repro.core import HOGConfig, HOGSystem, NodeConfig
+from repro.grid import GridSiteConfig, SitePolicy
+from repro.hdfs import GB, Balancer
+from repro.sim import Simulator
+
+
+def utilization_spread(balancer: Balancer) -> str:
+    util = balancer.utilization()
+    vals = np.array(sorted(util.values()))
+    return (f"min={vals.min():.1%} mean={vals.mean():.1%} "
+            f"max={vals.max():.1%} imbalance={balancer.imbalance():.1%}")
+
+
+def main() -> None:
+    policy = SitePolicy(scheduling_delay_mean=10.0)  # no churn, clean demo
+    config = HOGConfig(
+        sites=[GridSiteConfig(f"SITE{i}", f"site{i}.edu", 20, policy)
+               for i in range(3)],
+        node=NodeConfig(disk_capacity=20 * GB),
+        seed=7,
+    )
+    sim = Simulator()
+    hog = HOGSystem(sim, config)
+
+    print("Phase 1: start with 8 nodes and load data...")
+    hog.start(target_nodes=8)
+    hog.run_until_nodes(8)
+    for i in range(6):
+        hog.preload_input(f"/data/part{i}", n_blocks=4)
+    balancer = Balancer(sim, hog.namenode, threshold=0.02)
+    print(f"  utilization: {utilization_spread(balancer)}")
+
+    print("Phase 2: grow elastically to 16 nodes (submit more Condor jobs)...")
+    hog.set_target(16)
+    hog.run_until_nodes(16)
+    print(f"  now {hog.running_nodes()} nodes; fresh nodes joined empty:")
+    print(f"  utilization: {utilization_spread(balancer)}")
+
+    print("Phase 3: run the HDFS balancer...")
+    report_ev = balancer.run()
+    sim.run(until=report_ev)
+    report = report_ev.value
+    print(f"  moved {report.moved_blocks} blocks "
+          f"({report.moved_bytes / 2**20:.0f} MiB) in "
+          f"{report.iterations} iterations, converged={report.converged}")
+    print(f"  utilization: {utilization_spread(balancer)}")
+
+    print("Phase 4: shrink back to 10 nodes (condor_rm)...")
+    hog.set_target(10)
+    deadline = sim.now + 600
+    while sim.now < deadline and hog.running_nodes() > 10:
+        sim.run(until=sim.now + 10)
+    print(f"  now {hog.running_nodes()} nodes; "
+          f"node-count series max={hog.node_series.max():.0f}")
+
+
+if __name__ == "__main__":
+    main()

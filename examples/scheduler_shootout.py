@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Scheduler shootout: FIFO vs delay scheduling vs matchmaking.
+
+HOG ships with Hadoop's FIFO scheduler (§III-B2), but the paper's
+bibliography carries two locality-aware alternatives: delay scheduling
+(Zaharia et al. [3] — the source of the evaluation workload) and
+matchmaking (He et al. [20] — the HOG authors' own scheduler).  All three
+are implemented in ``repro.mapreduce``; this example runs a small
+low-replication workload under each and compares map locality.
+
+Run:  python examples/scheduler_shootout.py
+"""
+
+import numpy as np
+
+from repro.hdfs import HdfsConfig, Namenode, SiteAwarePolicy
+from repro.mapreduce import JobSpec, MRConfig
+from repro.metrics import format_table
+from repro.sim import Simulator
+
+
+def run_with(scheduler_name: str, seed: int = 5):
+    # Small fixed cluster, replication 1: locality is a real contest.
+    import sys, pathlib
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "tests"))
+    from helpers import MRHarness
+
+    h = MRHarness(n_nodes=9, n_sites=3,
+                  hdfs_config=HdfsConfig(replication=1),
+                  mr_config=MRConfig(scheduler=scheduler_name),
+                  seed=seed)
+    jobs = [h.submit(f"{scheduler_name}-{i}", num_maps=9, num_reduces=2,
+                     map_cpu_per_block=10.0) for i in range(4)]
+    h.run_to_completion(jobs)
+    local = sum(j.locality_counters["data_local"] for j in jobs)
+    total = sum(sum(j.locality_counters.values()) for j in jobs)
+    makespan = max(j.finish_time for j in jobs) - min(j.submit_time for j in jobs)
+    return local / total, makespan
+
+
+def main() -> None:
+    rows = []
+    for name in ("fifo", "delay", "matchmaking"):
+        locality, makespan = run_with(name)
+        rows.append([name, f"{100 * locality:.0f}%", f"{makespan:.0f}s"])
+    print(format_table(
+        ["scheduler", "data-local maps", "workload makespan"], rows,
+        title="Scheduler shootout (9 nodes, replication 1, 4 jobs)"))
+    print("\nFIFO grabs any slot immediately; the locality schedulers wait"
+          "\nbriefly and convert non-local launches into local ones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Comparison systems: the Table III dedicated cluster and Hadoop On Demand."""
+
+from .dedicated import (
+    DedicatedCluster,
+    DedicatedClusterConfig,
+    NodeGroup,
+    table3_config,
+)
+from .hod import HODConfig, HODJobResult, HODRunner
+
+__all__ = [
+    "DedicatedCluster",
+    "DedicatedClusterConfig",
+    "NodeGroup",
+    "table3_config",
+    "HODConfig",
+    "HODJobResult",
+    "HODRunner",
+]

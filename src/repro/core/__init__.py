@@ -1,0 +1,6 @@
+"""HOG core: the assembled Hadoop-On-the-Grid system."""
+
+from .config import HOGConfig, NodeConfig
+from .hog import HOGSystem, WorkerNode
+
+__all__ = ["HOGConfig", "NodeConfig", "HOGSystem", "WorkerNode"]

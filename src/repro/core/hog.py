@@ -1,0 +1,241 @@
+"""HOGSystem: the assembled Hadoop-On-the-Grid deployment.
+
+Mirrors Figure 3's architecture: a stable central server hosting the
+Namenode and JobTracker, plus elastic opportunistic worker nodes — each
+running a datanode and a tasktracker over one node-local disk — provisioned
+through Condor/GlideinWMS onto whitelisted OSG sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..grid.condor import CondorSchedd
+from ..grid.glidein import GlideinFactory
+from ..grid.site import GridSite
+from ..hdfs.client import HdfsClient
+from ..hdfs.datanode import Datanode
+from ..hdfs.namenode import Namenode
+from ..hdfs.placement import SiteAwarePolicy
+from ..mapreduce.job import Job, JobSpec
+from ..mapreduce.jobtracker import JobTracker
+from ..mapreduce.tasktracker import TaskTracker
+from ..net.fabric import NetworkFabric
+from ..net.topology import DnsSiteResolver, FlatResolver, NetworkTopology
+from ..sim.engine import Simulator
+from ..sim.events import Interrupt
+from ..sim.monitor import StepSeries
+from ..storage.disk import Disk
+from .config import HOGConfig
+
+__all__ = ["WorkerNode", "HOGSystem"]
+
+
+class WorkerNode:
+    """One opportunistic worker: shared disk + datanode + tasktracker."""
+
+    __slots__ = ("host", "site_name", "disk", "datanode", "tasktracker")
+
+    def __init__(self, host: str, site_name: str, disk: Disk,
+                 datanode: Datanode, tasktracker) -> None:
+        self.host = host
+        self.site_name = site_name
+        self.disk = disk
+        self.datanode = datanode
+        self.tasktracker = tasktracker
+
+    def preempt(self, zombie: bool) -> None:
+        """The site evicted us.  ``zombie=True`` models the double-fork
+        bug: the working directory is wiped but both daemons keep running
+        (§IV-D1).  ``zombie=False`` is the fixed behaviour: daemons die
+        with the process tree."""
+        if zombie:
+            self.disk.wipe()
+            self.datanode.make_zombie()
+            self.tasktracker.make_zombie()
+        else:
+            self.datanode.kill()
+            self.tasktracker.kill()
+
+    def shutdown(self) -> None:
+        """Graceful stop (elastic shrink via ``condor_rm``)."""
+        self.datanode.shutdown()
+        self.tasktracker.shutdown()
+
+    def __repr__(self) -> str:
+        return f"<WorkerNode {self.host} @{self.site_name}>"
+
+
+class HOGSystem:
+    """The full HOG deployment over a simulator instance.
+
+    Typical use::
+
+        sim = Simulator()
+        hog = HOGSystem(sim, HOGConfig())
+        hog.start(target_nodes=100)
+        hog.run_until_nodes(100)
+        hog.preload_input("/in/data", n_blocks=50)
+        job = hog.submit(JobSpec(...))
+        hog.run_until_jobs_done([job])
+    """
+
+    def __init__(self, sim: Simulator, config: Optional[HOGConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or HOGConfig()
+        self.config.validate()
+        self.rng = np.random.default_rng(self.config.seed)
+
+        resolver = (DnsSiteResolver() if self.config.site_awareness
+                    else FlatResolver("flat-grid"))
+        self.topology = NetworkTopology(resolver)
+        # Even with site awareness off, the *physical* network still has
+        # sites: bandwidth asymmetry is real whether or not Hadoop can see
+        # it.  The fabric gets its own DNS-resolved topology.
+        self.physical_topology = NetworkTopology(DnsSiteResolver())
+        self.fabric = NetworkFabric(sim, self.physical_topology,
+                                    self.config.fabric)
+        # The central server (stable, hosts master daemons + the package
+        # repository) must be in the topologies before anyone talks to it.
+        self.topology.add_host(self.config.central_host)
+        self.physical_topology.add_host(self.config.central_host)
+
+        placement = SiteAwarePolicy(
+            self.topology, np.random.default_rng(self.config.seed + 1))
+        self.namenode = Namenode(sim, self.topology, placement, self.config.hdfs)
+        self.namenode.start()
+        self.jobtracker = JobTracker(sim, self.namenode, self.topology,
+                                     self.config.mr)
+        self.jobtracker.start()
+
+        self.schedd = CondorSchedd()
+        self.sites = [GridSite(sc) for sc in self.config.sites]
+        self.factory = GlideinFactory(
+            sim, self.schedd, self.sites, self.fabric,
+            np.random.default_rng(self.config.seed + 2),
+            node_start=self._node_start,
+            node_preempt=self._node_preempt,
+            node_shutdown=self._node_shutdown,
+            wrapper=self.config.wrapper,
+            negotiation_interval=self.config.negotiation_interval)
+
+        self.nodes: Dict[str, WorkerNode] = {}
+        #: Actual running worker nodes over time.
+        self.node_series = StepSeries("running_nodes", initial=0, t0=sim.now)
+        #: Node count as the masters believe it (what Figure 5 plots:
+        #: "the reported number of nodes ... fluctuated above 55
+        #: momentarily as nodes left but were not reported dead for their
+        #: heartbeat timeout").
+        self.believed_series = StepSeries("believed_nodes", initial=0, t0=sim.now)
+        self.factory.node_count_listeners.append(
+            lambda n: self.node_series.record(self.sim.now, n))
+        self._sampler_started = False
+
+    # -- node lifecycle hooks (called by the glidein factory) -----------------------
+    def _node_start(self, host: str, site: GridSite) -> WorkerNode:
+        node_cfg = self.config.node
+        speed = float(self.rng.uniform(node_cfg.speed_min, node_cfg.speed_max))
+        disk = Disk(self.sim, host, node_cfg.disk_capacity,
+                    node_cfg.disk_read_rate, node_cfg.disk_write_rate)
+        dn = Datanode(self.sim, host, disk, self.fabric, self.namenode,
+                      self.config.hdfs)
+        dn.start()
+        tt = TaskTracker(self.sim, host, disk, self.fabric,
+                         self.namenode, self.jobtracker,
+                         node_cfg.map_slots, node_cfg.reduce_slots,
+                         speed, self.config.mr)
+        tt.start()
+        node = WorkerNode(host, site.name, disk, dn, tt)
+        self.nodes[host] = node
+        return node
+
+    def _node_preempt(self, node: WorkerNode, zombie: bool) -> None:
+        node.preempt(zombie)
+
+    def _node_shutdown(self, node: WorkerNode) -> None:
+        node.shutdown()
+
+    # -- control ---------------------------------------------------------------------
+    def start(self, target_nodes: int) -> None:
+        """Request ``target_nodes`` glideins and start all monitors."""
+        self.factory.start()
+        self.factory.set_target(target_nodes)
+        if not self._sampler_started:
+            self._sampler_started = True
+            self.sim.process(self._believed_sampler(), name="hog-believed-sampler")
+
+    def set_target(self, n: int) -> None:
+        """Elastically grow or shrink the node request (§IV-C)."""
+        self.factory.set_target(n)
+
+    def _believed_sampler(self, period: float = 5.0):
+        try:
+            while True:
+                self.believed_series.record(
+                    self.sim.now, self.jobtracker.live_tracker_count())
+                yield self.sim.timeout(period)
+        except Interrupt:
+            return
+
+    # -- run helpers ---------------------------------------------------------------------
+    def run_until_nodes(self, n: int, timeout: float = 36_000.0,
+                        step: float = 5.0) -> float:
+        """Advance simulation until ``n`` workers are running (the paper
+        waits for the target before starting the workload, §IV-A).
+        Returns the time reached; raises on timeout."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            if self.factory.running_count() >= n:
+                return self.sim.now
+            self.sim.run(until=min(self.sim.now + step, deadline))
+        raise TimeoutError(
+            f"only {self.factory.running_count()}/{n} nodes after {timeout}s")
+
+    def run_until_jobs_done(self, jobs: List[Job], timeout: float = 200_000.0,
+                            step: float = 25.0) -> float:
+        """Advance simulation until every job in ``jobs`` finished."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            if all(j.finish_time is not None for j in jobs):
+                return self.sim.now
+            self.sim.run(until=min(self.sim.now + step, deadline))
+        unfinished = [(j.job_id, j.status) for j in jobs if j.finish_time is None]
+        raise TimeoutError(f"jobs unfinished after {timeout}s: {unfinished}")
+
+    # -- workload interface ---------------------------------------------------------------
+    def client(self) -> HdfsClient:
+        """An HDFS client running on the central server."""
+        return HdfsClient(self.sim, self.namenode, self.fabric,
+                          self.config.central_host)
+
+    def preload_input(self, name: str, n_blocks: int) -> None:
+        """Instantly place an input file of ``n_blocks`` full blocks
+        (models the pre-measurement data upload of §IV-A)."""
+        self.client().preload_file(
+            name, n_blocks * self.config.hdfs.block_size)
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Submit a MapReduce job."""
+        return self.jobtracker.submit_job(spec)
+
+    def running_nodes(self) -> int:
+        """Actual running worker count."""
+        return self.factory.running_count()
+
+    def preempt_host(self, host: str, zombie: bool = False) -> None:
+        """Force a site preemption of the glidein running at ``host``.
+
+        Goes through the glidein lifecycle (capacity released, factory
+        notified, replacement requested next cycle), exactly like a
+        spontaneous preemption.  ``zombie`` forces the double-fork zombie
+        outcome regardless of the wrapper's ``zombie_fix`` setting."""
+        glidein = self.factory.find_by_hostname(host)
+        if glidein is None:
+            raise KeyError(f"no running glidein at {host}")
+        glidein.preempt(zombie=zombie)
+
+    def __repr__(self) -> str:
+        return (f"<HOGSystem nodes={self.factory.running_count()}"
+                f"/{self.factory.target} sites={len(self.sites)}>")

@@ -1,0 +1,188 @@
+"""Shared experiment machinery: run the Facebook workload on a system.
+
+Both runners follow the §IV-A protocol:
+
+1. stand the system up (for HOG: request N nodes and *wait* until they
+   have all joined — "we first configure a given number of nodes that HOG
+   will achieve and wait until HOG reaches this number"),
+2. upload the input data,
+3. replay the 88-job exponential submission schedule,
+4. measure the workload response time (first submission → last completion),
+   and for HOG the area beneath the node-count curve (Table IV).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..baselines.dedicated import DedicatedCluster, DedicatedClusterConfig, table3_config
+from ..core.config import HOGConfig, NodeConfig
+from ..core.hog import HOGSystem
+from ..grid.glidein import WrapperConfig
+from ..grid.site import GridSiteConfig, SitePolicy
+from ..hdfs.config import HdfsConfig, hog_config
+from ..mapreduce.config import MRConfig, hog_mr_config
+from ..metrics.report import WorkloadResult
+from ..net.fabric import FabricConfig
+from ..sim.engine import Simulator
+from ..sim.monitor import StepSeries
+from ..workload.schedule import (
+    LoadgenParams,
+    SubmissionSchedule,
+    build_facebook_schedule,
+)
+from . import calibration
+
+__all__ = ["HogRunSettings", "run_facebook_on_hog", "run_facebook_on_cluster",
+           "paper_sites_with_policy"]
+
+
+def paper_sites_with_policy(policy: SitePolicy, total_capacity: int,
+                            n_sites: int = 5) -> List[GridSiteConfig]:
+    """Five OSG-like sites sharing one policy, sized so the grid can hold
+    ``total_capacity`` workers with headroom for churn replacement."""
+    per_site = math.ceil(total_capacity * 1.3 / n_sites)
+    domains = ["fnal.gov", "fnalwc1.gov", "ucsd.edu", "aglt2.org", "mit.edu"]
+    names = ["FNAL_FERMIGRID", "USCMS-FNAL-WC1", "UCSDT2", "AGLT2", "MIT_CMS"]
+    return [GridSiteConfig(names[i], domains[i], per_site, policy)
+            for i in range(n_sites)]
+
+
+@dataclass
+class HogRunSettings:
+    """Everything that varies between HOG experiment runs."""
+
+    n_nodes: int = 55
+    seed: int = 0
+    policy: SitePolicy = field(default_factory=calibration.default_grid_policy)
+    loadgen: LoadgenParams = field(default_factory=calibration.default_loadgen)
+    #: Workload scale in (0, 1]: fraction of Table II's per-bin job counts.
+    scale: float = 1.0
+    hdfs: Optional[HdfsConfig] = None
+    mr: Optional[MRConfig] = None
+    wrapper: Optional[WrapperConfig] = None
+    fabric: Optional["FabricConfig"] = None
+    node: Optional[NodeConfig] = None
+    site_awareness: bool = True
+    n_sites: int = 5
+    #: Cap on simulated seconds for safety.
+    timeout: float = 400_000.0
+
+
+def _submission_process(sim, system, schedule: SubmissionSchedule, jobs: list):
+    """Replay the schedule: sleep each exponential gap, submit."""
+    last = 0.0
+    for item in schedule.jobs:
+        gap = item.submit_time - last
+        if gap > 0:
+            yield sim.timeout(gap)
+        last = item.submit_time
+        jobs.append((system.submit(item.spec), item.bin_id))
+
+
+def _collect_result(system_name: str, nodes: int, jobs, start: float,
+                    end: float, series: Optional[StepSeries],
+                    jobtracker) -> WorkloadResult:
+    bin_responses: Dict[int, List[float]] = {}
+    failed = 0
+    locality = {"data_local": 0, "site_local": 0, "remote": 0}
+    for job, bin_id in jobs:
+        if job.response_time is None or job.status != "succeeded":
+            failed += 1
+            continue
+        bin_responses.setdefault(bin_id, []).append(job.response_time)
+        for k, v in job.locality_counters.items():
+            locality[k] += v
+    area = series.integrate(start, end) if series is not None else None
+    return WorkloadResult(
+        system=system_name, nodes=nodes, start_time=start, end_time=end,
+        bin_responses=bin_responses, failed_jobs=failed, node_area=area,
+        locality=locality, counters=jobtracker.counters.as_dict())
+
+
+def run_facebook_on_hog(settings: HogRunSettings,
+                        return_system: bool = False):
+    """Run the Table II workload on a HOG deployment.
+
+    Returns a :class:`WorkloadResult` (and optionally the live
+    :class:`HOGSystem` for inspection)."""
+    sim = Simulator()
+    cfg = HOGConfig(
+        sites=paper_sites_with_policy(settings.policy, settings.n_nodes,
+                                      settings.n_sites),
+        hdfs=settings.hdfs or hog_config(),
+        mr=settings.mr or hog_mr_config(),
+        fabric=settings.fabric or calibration.grid_fabric(),
+        wrapper=settings.wrapper or WrapperConfig(),
+        node=settings.node or calibration.grid_node_config(),
+        site_awareness=settings.site_awareness,
+        seed=settings.seed,
+    )
+    hog = HOGSystem(sim, cfg)
+    hog.start(settings.n_nodes)
+    hog.run_until_nodes(settings.n_nodes, timeout=settings.timeout)
+
+    rng = np.random.default_rng(settings.seed + 77)
+    schedule = build_facebook_schedule(rng, settings.loadgen,
+                                       scale=settings.scale)
+    for input_file, n_blocks in schedule.inputs.items():
+        hog.preload_input(input_file, n_blocks)
+
+    jobs: list = []
+    start = sim.now
+    sim.process(_submission_process(sim, hog, schedule, jobs),
+                name="workload-submitter")
+    deadline = start + settings.timeout
+    while sim.now < deadline:
+        if (len(jobs) == len(schedule)
+                and all(j.finish_time is not None for j, _ in jobs)):
+            break
+        sim.run(until=min(sim.now + 25.0, deadline))
+    else:
+        pass
+    end = sim.now
+    result = _collect_result("HOG", settings.n_nodes, jobs, start, end,
+                             hog.believed_series, hog.jobtracker)
+    if return_system:
+        return result, hog
+    return result
+
+
+def run_facebook_on_cluster(seed: int = 0, scale: float = 1.0,
+                            loadgen: Optional[LoadgenParams] = None,
+                            cluster_config: Optional[DedicatedClusterConfig] = None,
+                            timeout: float = 400_000.0,
+                            return_system: bool = False):
+    """Run the Table II workload on the Table III dedicated cluster."""
+    sim = Simulator()
+    cfg = cluster_config or table3_config(fabric=calibration.cluster_fabric())
+    cluster = DedicatedCluster(sim, cfg)
+    sim.run(until=10.0)  # let daemons register
+
+    rng = np.random.default_rng(seed + 77)
+    schedule = build_facebook_schedule(
+        rng, loadgen or calibration.default_loadgen(), scale=scale)
+    for input_file, n_blocks in schedule.inputs.items():
+        cluster.preload_input(input_file, n_blocks)
+
+    jobs: list = []
+    start = sim.now
+    sim.process(_submission_process(sim, cluster, schedule, jobs),
+                name="workload-submitter")
+    deadline = start + timeout
+    while sim.now < deadline:
+        if (len(jobs) == len(schedule)
+                and all(j.finish_time is not None for j, _ in jobs)):
+            break
+        sim.run(until=min(sim.now + 25.0, deadline))
+    end = sim.now
+    result = _collect_result(
+        f"Cluster({cfg.total_map_slots} cores)", cfg.total_nodes, jobs,
+        start, end, None, cluster.jobtracker)
+    if return_system:
+        return result, cluster
+    return result

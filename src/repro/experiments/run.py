@@ -1,0 +1,131 @@
+"""Command-line entry point for the experiment drivers.
+
+Usage::
+
+    python -m repro.experiments.run tables
+    python -m repro.experiments.run fig4  [--scale 0.25] [--nodes 40 100 200]
+    python -m repro.experiments.run fig5  [--scale 0.25] [--nodes 55]
+    python -m repro.experiments.run table4
+    python -m repro.experiments.run hod
+    python -m repro.experiments.run ablations [--which replication ...]
+
+Each subcommand regenerates the corresponding paper table/figure and
+prints it.  Scale < 1 shrinks the 88-job workload proportionally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..metrics.report import format_table
+from . import ablations, fig4, fig5, tables
+
+
+def _cmd_tables(_args) -> None:
+    print(tables.render_table1())
+    print()
+    print(tables.render_table2())
+    print()
+    print(tables.render_table3())
+
+
+def _cmd_fig4(args) -> None:
+    result = fig4.run_fig4(node_counts=tuple(args.nodes),
+                           runs_per_point=args.runs, scale=args.scale,
+                           seed=args.seed)
+    print(result.to_table())
+
+
+def _cmd_fig5(args) -> None:
+    result = fig5.run_fig5(target_nodes=args.nodes[0], scale=args.scale)
+    for run in result.runs:
+        times, values = run.series
+        print(f"run {run.label} ({'stable' if run.stable else 'unstable'}): "
+              f"response={run.response_time:.0f}s area={run.area:.0f} "
+              f"mean_nodes={run.mean_nodes:.1f}")
+    print()
+    print(result.table4())
+
+
+def _cmd_table4(args) -> None:
+    result = fig5.run_fig5(target_nodes=args.nodes[0], scale=args.scale)
+    print(result.table4())
+
+
+def _cmd_hod(args) -> None:
+    print(ablations.compare_hod(n_nodes=args.nodes[0],
+                                scale=min(args.scale, 0.25)).to_table())
+
+
+def _cmd_ablations(args) -> None:
+    scale = min(args.scale, 0.25)
+    which = args.which or ["replication", "detection", "site", "zombie",
+                           "copies", "schedulers"]
+    if "replication" in which:
+        res = ablations.ablate_replication(scale=scale)
+        rows = [[f, f"{r.response_time:.0f}", r.failed_jobs]
+                for f, r in sorted(res.items())]
+        print(format_table(["replication", "response (s)", "failed"], rows,
+                           title="Ablation: replication factor"))
+    if "detection" in which:
+        res = ablations.ablate_failure_detection(scale=scale)
+        rows = [[f"{t:.0f}s", f"{r.response_time:.0f}",
+                 r.counters.get("trackers_lost", 0)]
+                for t, r in sorted(res.items())]
+        print(format_table(["timeout", "response (s)", "trackers lost"],
+                           rows, title="Ablation: failure detection"))
+    if "site" in which:
+        res = ablations.ablate_site_awareness(scale=scale)
+        rows = [[on, f"{r.response_time:.0f}", r.locality["data_local"]]
+                for on, r in sorted(res.items(), reverse=True)]
+        print(format_table(["awareness", "response (s)", "data-local maps"],
+                           rows, title="Ablation: site awareness"))
+    if "zombie" in which:
+        res = ablations.ablate_zombie_fix(scale=scale)
+        rows = [[on, f"{r.response_time:.0f}",
+                 r.counters.get("attempts_failed", 0)]
+                for on, r in sorted(res.items(), reverse=True)]
+        print(format_table(["fix", "response (s)", "attempts failed"], rows,
+                           title="Ablation: zombie fix"))
+    if "copies" in which:
+        res = ablations.ablate_speculative_copies(scale=scale)
+        rows = [[n, f"{r.response_time:.0f}",
+                 r.counters.get("speculative_attempts", 0)]
+                for n, r in sorted(res.items())]
+        print(format_table(["max copies", "response (s)", "backups"], rows,
+                           title="Ablation: N-copy execution (§VI)"))
+    if "schedulers" in which:
+        res = ablations.compare_schedulers(scale=scale)
+        rows = []
+        for name, r in res.items():
+            total = sum(r.locality.values()) or 1
+            rows.append([name, f"{r.response_time:.0f}",
+                         f"{100 * r.locality['data_local'] / total:.0f}%"])
+        print(format_table(["scheduler", "response (s)", "data-local"], rows,
+                           title="Scheduler comparison"))
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(prog="repro.experiments.run",
+                                     description=__doc__)
+    parser.add_argument("command",
+                        choices=["tables", "fig4", "fig5", "table4", "hod",
+                                 "ablations"])
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--runs", type=int, default=1)
+    parser.add_argument("--nodes", type=int, nargs="+",
+                        default=[40, 55, 100, 160, 200])
+    parser.add_argument("--which", nargs="*", default=None,
+                        help="subset of ablations to run")
+    args = parser.parse_args(argv)
+    {"tables": _cmd_tables, "fig4": _cmd_fig4, "fig5": _cmd_fig5,
+     "table4": _cmd_table4, "hod": _cmd_hod,
+     "ablations": _cmd_ablations}[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Tables I, II, and III — the static workload/configuration tables.
+
+These are regenerated from the implementation (not hard-coded prints): the
+workload generator's bin definitions produce Tables I and II, and the
+dedicated-cluster baseline's configuration produces Table III.  The
+benchmark assertions check them against the paper's published values.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..baselines.dedicated import DedicatedClusterConfig, table3_config
+from ..metrics.report import format_table
+from ..workload.facebook import FACEBOOK_BINS, truncated_bins
+
+__all__ = ["render_table1", "render_table2", "render_table3"]
+
+
+def render_table1() -> str:
+    """Table I: the Facebook production workload bins."""
+    rows = []
+    for b in FACEBOOK_BINS:
+        rows.append([b.bin_id, b.maps_label, f"{b.percent_at_facebook:.0f}%",
+                     b.maps_in_benchmark, b.jobs_in_benchmark])
+    return format_table(
+        ["Bin", "#Maps at Facebook", "%Jobs", "#Maps in Benchmark",
+         "# of jobs in Benchmark"],
+        rows, title="Table I: Facebook production workload")
+
+
+def render_table2() -> str:
+    """Table II: the truncated six-bin workload with reduce counts."""
+    rows = [[b.bin_id, b.maps_in_benchmark, b.reduces_in_benchmark]
+            for b in truncated_bins()]
+    return format_table(["Bin", "Map Tasks", "Reduce Tasks"], rows,
+                        title="Table II: truncated workload for this paper")
+
+
+def render_table3(cfg: DedicatedClusterConfig = None) -> str:
+    """Table III: the dedicated MapReduce cluster configuration."""
+    cfg = cfg or table3_config()
+    rows = [["Master node", 1, "masters only (Namenode + JobTracker)"]]
+    for i, g in enumerate(cfg.groups):
+        rows.append([f"Slave nodes-{'I' * (i + 1)}", g.count,
+                     f"{g.map_slots} map and {g.reduce_slots} reduce "
+                     f"slots per node"])
+    table = format_table(["Nodes", "Quantity", "Hadoop configuration"], rows,
+                         title="Table III: dedicated MapReduce cluster")
+    totals = (f"\nTotals: {cfg.total_nodes} workers, "
+              f"{cfg.total_map_slots} map slots (= cores), "
+              f"{cfg.total_reduce_slots} reduce slots")
+    return table + totals

@@ -1,0 +1,126 @@
+"""Grid storage access: SRM metadata operations + GridFTP transfers.
+
+§II-B: "Sites can provide storage resources accessible with the user's
+certificate.  All storage resources are again accessed by a set of common
+protocols, Storage Resource Manager (SRM) and Globus GridFTP.  SRM
+provides an interface for metadata operations and refers transfer
+requests to a set of load balanced GridFTP servers."
+
+HOG itself stores data in HDFS on the glideins, but the *initial* dataset
+typically arrives from grid storage — and HOD re-stages it per request.
+This module models that path: an SRM endpoint that answers metadata
+requests after a WAN round trip and hands out one of its GridFTP servers
+(least-loaded), which then streams the file through the fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..net.fabric import NetworkFabric
+from ..sim.engine import Simulator
+from ..sim.events import Event
+
+__all__ = ["SrmError", "StorageElement", "StagedFile"]
+
+
+class SrmError(Exception):
+    """SRM request failed (unknown file, no servers, ...)."""
+
+
+@dataclass(frozen=True)
+class StagedFile:
+    """A file registered on a storage element."""
+
+    path: str
+    size: float
+
+
+class StorageElement:
+    """One site's SRM endpoint + load-balanced GridFTP server pool.
+
+    Parameters
+    ----------
+    hosts:
+        GridFTP server hostnames (must be in the fabric topology's DNS
+        scheme, e.g. ``gridftp1.fnal.gov``).
+    srm_latency:
+        Metadata round-trip service time per request, seconds.
+    """
+
+    def __init__(self, sim: Simulator, fabric: NetworkFabric,
+                 hosts: List[str], srm_latency: float = 0.2) -> None:
+        if not hosts:
+            raise ValueError("a storage element needs at least one GridFTP server")
+        if srm_latency < 0:
+            raise ValueError("srm_latency cannot be negative")
+        self.sim = sim
+        self.fabric = fabric
+        self.hosts = list(hosts)
+        self.srm_latency = srm_latency
+        self._catalog: Dict[str, StagedFile] = {}
+        self._active: Dict[str, int] = {h: 0 for h in self.hosts}
+        #: Completed transfer count per server (load-balance verification).
+        self.served: Dict[str, int] = {h: 0 for h in self.hosts}
+
+    # -- catalog ---------------------------------------------------------------
+    def register(self, path: str, size: float) -> StagedFile:
+        """Publish a file on this storage element."""
+        if size < 0:
+            raise ValueError("size cannot be negative")
+        f = StagedFile(path, float(size))
+        self._catalog[path] = f
+        return f
+
+    def stat(self, path: str) -> StagedFile:
+        """SRM metadata lookup (immediate; latency charged on requests)."""
+        f = self._catalog.get(path)
+        if f is None:
+            raise SrmError(f"no such file: {path}")
+        return f
+
+    def _pick_server(self) -> str:
+        """Least-loaded GridFTP server (SRM's referral)."""
+        return min(self.hosts, key=lambda h: (self._active[h], h))
+
+    # -- transfers --------------------------------------------------------------
+    def fetch(self, path: str, dest: str) -> Event:
+        """Stage ``path`` to host ``dest``: SRM request + GridFTP stream.
+
+        Returns an event succeeding with the serving hostname."""
+        done = self.sim.event()
+        self.sim.process(self._fetch_proc(path, dest, done),
+                         name=f"srm-fetch:{path}->{dest}")
+        return done
+
+    def _fetch_proc(self, path: str, dest: str, done: Event):
+        f = self._catalog.get(path)
+        if f is None:
+            done.fail(SrmError(f"no such file: {path}"))
+            done.defused()
+            return
+        # SRM metadata negotiation.
+        if self.srm_latency > 0:
+            yield self.sim.timeout(self.srm_latency)
+        server = self._pick_server()
+        self._active[server] += 1
+        try:
+            yield self.fabric.transfer(server, dest, f.size)
+        except Exception as exc:
+            done.fail(SrmError(f"gridftp transfer failed: {exc}"))
+            done.defused()
+            return
+        finally:
+            self._active[server] -= 1
+        self.served[server] += 1
+        done.succeed(server)
+
+    def stage_many(self, paths: List[str], dest: str) -> Event:
+        """Stage several files concurrently; succeeds when all land."""
+        events = [self.fetch(p, dest) for p in paths]
+        return self.sim.all_of(events)
+
+    def __repr__(self) -> str:
+        return (f"<StorageElement {len(self.hosts)} gridftp servers, "
+                f"{len(self._catalog)} files>")

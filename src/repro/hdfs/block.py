@@ -1,0 +1,72 @@
+"""HDFS data model: files, blocks, and the namenode's replica bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+__all__ = ["Block", "BlockInfo", "FileInfo"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable block identity: ``block_id`` within ``file`` of ``size`` bytes.
+
+    HDFS "divides each file into small fixed-size blocks (e.g., 64 MB)";
+    the final block of a file may be shorter.
+    """
+
+    block_id: int
+    file: str
+    size: float
+    #: Index of this block within its file (block 0 holds bytes [0, size)).
+    index: int = 0
+
+    def __repr__(self) -> str:
+        return f"<Block #{self.block_id} {self.file}[{self.index}] {self.size:.0f}B>"
+
+
+class BlockInfo:
+    """Namenode-side state for one block: where its replicas live."""
+
+    __slots__ = ("block", "replicas", "pending_targets", "balancer_drop")
+
+    def __init__(self, block: Block) -> None:
+        self.block = block
+        #: Hosts confirmed to hold a finalized replica.
+        self.replicas: Set[str] = set()
+        #: Hosts a re-replication is currently in flight to (avoid
+        #: scheduling duplicate work for the same block/target).
+        self.pending_targets: Set[str] = set()
+        #: When the balancer migrates this block, the source replica it
+        #: wants dropped once the new copy lands (makes the namenode's
+        #: over-replication invalidation deterministic).
+        self.balancer_drop: "str | None" = None
+
+    @property
+    def live_replica_count(self) -> int:
+        """Number of confirmed replicas."""
+        return len(self.replicas)
+
+    def __repr__(self) -> str:
+        return f"<BlockInfo {self.block.block_id} replicas={sorted(self.replicas)}>"
+
+
+class FileInfo:
+    """Namenode-side state for one file in the namespace."""
+
+    __slots__ = ("name", "blocks", "replication")
+
+    def __init__(self, name: str, replication: int) -> None:
+        self.name = name
+        self.blocks: List[Block] = []
+        #: Target replication factor for every block of this file.
+        self.replication = replication
+
+    @property
+    def size(self) -> float:
+        """Total file size in bytes."""
+        return sum(b.size for b in self.blocks)
+
+    def __repr__(self) -> str:
+        return f"<FileInfo {self.name} blocks={len(self.blocks)} x{self.replication}>"

@@ -1,0 +1,252 @@
+"""The simulated HDFS Datanode daemon.
+
+A datanode stores finalized block replicas on its node-local disk, sends
+periodic heartbeats to the namenode, and (in HOG) runs the §IV-D1 zombie
+fix: a periodic working-directory probe that shuts the daemon down when a
+preempting site has deleted its files.
+
+Failure modes
+-------------
+``shutdown()``
+    Clean stop (graceful daemon exit): heartbeats cease immediately.
+``kill()``
+    Abrupt death *with* the process tree (the fixed HOG behaviour): the
+    daemon stops silently; the namenode only notices when heartbeats time
+    out.
+``make_zombie()``
+    The double-fork bug: the site killed the wrapper and wiped the working
+    directory, but the daemon escaped the process tree.  It keeps
+    heartbeating — so the namenode still counts its replicas — while every
+    read and write against it fails.  Only the disk self-check (if
+    enabled) eventually notices and shuts it down.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..net.fabric import NetworkFabric, TransferFailed
+from ..sim.engine import Simulator
+from ..sim.events import Event, Interrupt
+from ..storage.disk import Disk, DiskFullError, DiskIOError
+from .block import Block
+from .config import HdfsConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .namenode import Namenode
+
+__all__ = ["Datanode", "BlockReadError"]
+
+#: Disk-usage label for HDFS block data.
+HDFS_LABEL = "hdfs"
+
+
+class BlockReadError(Exception):
+    """A replica could not be served (missing block / dead or zombie node)."""
+
+
+class Datanode:
+    """One HDFS worker daemon bound to a host and its local disk."""
+
+    RUNNING = "running"
+    ZOMBIE = "zombie"
+    DEAD = "dead"
+
+    def __init__(self, sim: Simulator, host: str, disk: Disk,
+                 fabric: NetworkFabric, namenode: "Namenode",
+                 config: Optional[HdfsConfig] = None) -> None:
+        self.sim = sim
+        self.host = host
+        self.disk = disk
+        self.fabric = fabric
+        self.namenode = namenode
+        self.config = config or HdfsConfig()
+        self.state = Datanode.DEAD  # not started yet
+        self._blocks: Dict[int, Block] = {}
+        self._heartbeat_proc = None
+        self._diskcheck_proc = None
+        #: Outbound re-replication streams currently running.
+        self.active_repl_streams = 0
+
+    # -- lifecycle --------------------------------------------------------------
+    def start(self) -> None:
+        """Register with the namenode and start daemon loops."""
+        if self.state != Datanode.DEAD:
+            raise RuntimeError(f"datanode {self.host} already started")
+        self.state = Datanode.RUNNING
+        self.namenode.register_datanode(self)
+        self._heartbeat_proc = self.sim.process(
+            self._heartbeat_loop(), name=f"dn-hb:{self.host}")
+        if self.config.disk_check_interval is not None:
+            self._diskcheck_proc = self.sim.process(
+                self._disk_check_loop(), name=f"dn-check:{self.host}")
+
+    def shutdown(self) -> None:
+        """Clean daemon exit: stop loops; namenode learns via timeout."""
+        self._stop_loops()
+        self.state = Datanode.DEAD
+
+    def kill(self) -> None:
+        """Abrupt death together with the process tree (preemption with the
+        zombie fix in place).  In-flight I/O is aborted."""
+        self._stop_loops()
+        self.state = Datanode.DEAD
+        self.fabric.abort_host_flows(self.host)
+
+    def make_zombie(self) -> None:
+        """Enter the double-fork zombie state: working directory wiped,
+        daemon still alive and heartbeating (§IV-D1)."""
+        if self.state != Datanode.RUNNING:
+            return
+        self.state = Datanode.ZOMBIE
+        self.disk.wipe()
+        self._blocks.clear()
+
+    def _stop_loops(self) -> None:
+        for proc in (self._heartbeat_proc, self._diskcheck_proc):
+            if proc is not None and proc.is_alive:
+                proc.interrupt("daemon stopped")
+        self._heartbeat_proc = None
+        self._diskcheck_proc = None
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the daemon process exists (running or zombie)."""
+        return self.state in (Datanode.RUNNING, Datanode.ZOMBIE)
+
+    # -- daemon loops -------------------------------------------------------------
+    def _heartbeat_loop(self):
+        """Periodic status report; zombies keep reporting (the bug)."""
+        try:
+            while self.is_alive:
+                self.namenode.heartbeat(self)
+                yield self.sim.timeout(self.config.heartbeat_interval)
+        except Interrupt:
+            return
+
+    def _disk_check_loop(self):
+        """The §IV-D1 fix: probe the working directory every
+        ``disk_check_interval`` seconds; shut down when it is gone."""
+        try:
+            while self.is_alive:
+                yield self.sim.timeout(self.config.disk_check_interval)
+                if not self.disk.probe():
+                    self.shutdown()
+                    return
+        except Interrupt:
+            return
+
+    # -- block storage --------------------------------------------------------------
+    @property
+    def block_ids(self):
+        """IDs of locally stored replicas."""
+        return set(self._blocks)
+
+    def has_block(self, block_id: int) -> bool:
+        """True if a finalized replica is stored here."""
+        return block_id in self._blocks
+
+    def num_blocks(self) -> int:
+        """Number of stored replicas."""
+        return len(self._blocks)
+
+    def usable_space(self) -> float:
+        """Free bytes the datanode is willing to fill with block data."""
+        if self.state != Datanode.RUNNING:
+            return 0.0
+        reserve = self.disk.capacity * self.config.disk_reserve_fraction
+        return max(0.0, self.disk.free - reserve)
+
+    def can_store(self, nbytes: float) -> bool:
+        """Capacity test used by placement policies."""
+        return self.usable_space() >= nbytes
+
+    def add_block_instant(self, block: Block) -> None:
+        """Place a replica without simulating I/O (experiment preload)."""
+        if self.state != Datanode.RUNNING:
+            raise DiskIOError(f"datanode {self.host} is not running")
+        if block.block_id in self._blocks:
+            return
+        self.disk.allocate(block.size, HDFS_LABEL)
+        self._blocks[block.block_id] = block
+        self.namenode.block_received(block.block_id, self.host)
+
+    def receive_block(self, block: Block, source: str) -> Event:
+        """Receive a replica from ``source`` over the network and persist it.
+
+        Returns an event succeeding once the replica is finalized and
+        reported, or failing with ``DiskFullError`` / ``TransferFailed`` /
+        ``DiskIOError``.
+        """
+        done = self.sim.event()
+        self.sim.process(self._receive_block_proc(block, source, done),
+                         name=f"dn-recv:{self.host}:{block.block_id}")
+        return done
+
+    def _receive_block_proc(self, block: Block, source: str, done: Event):
+        if self.state != Datanode.RUNNING:
+            done.fail(DiskIOError(f"datanode {self.host} not running"))
+            done.defused()
+            return
+        try:
+            self.disk.allocate(block.size, HDFS_LABEL)
+        except (DiskFullError, DiskIOError) as exc:
+            done.fail(exc)
+            done.defused()
+            return
+        try:
+            yield self.fabric.transfer(source, self.host, block.size)
+            yield self.disk.write(block.size)
+        except (TransferFailed, DiskIOError) as exc:
+            if self.disk.alive:
+                self.disk.release(block.size, HDFS_LABEL)
+            done.fail(exc)
+            done.defused()
+            return
+        if self.state != Datanode.RUNNING:
+            done.fail(DiskIOError(f"datanode {self.host} died finalizing block"))
+            done.defused()
+            return
+        self._blocks[block.block_id] = block
+        self.namenode.block_received(block.block_id, self.host)
+        done.succeed(block)
+
+    def serve_read(self, block_id: int, reader: str) -> Event:
+        """Stream a replica to ``reader``: local disk read + network transfer.
+
+        Fails with :class:`BlockReadError` when the replica is absent or
+        the daemon is a zombie (working directory wiped).
+        """
+        done = self.sim.event()
+        self.sim.process(self._serve_read_proc(block_id, reader, done),
+                         name=f"dn-read:{self.host}:{block_id}")
+        return done
+
+    def _serve_read_proc(self, block_id: int, reader: str, done: Event):
+        if self.state != Datanode.RUNNING or block_id not in self._blocks:
+            done.fail(BlockReadError(
+                f"{self.host} cannot serve block {block_id} (state={self.state})"))
+            done.defused()
+            return
+        block = self._blocks[block_id]
+        try:
+            # Disk read and network send overlap in a streaming read; the
+            # elapsed time is dominated by the slower of the two, which we
+            # model by running them concurrently and waiting for both.
+            read_ev = self.disk.read(block.size)
+            xfer_ev = self.fabric.transfer(self.host, reader, block.size)
+            yield self.sim.all_of([read_ev, xfer_ev])
+        except (DiskIOError, TransferFailed) as exc:
+            done.fail(BlockReadError(str(exc)))
+            done.defused()
+            return
+        done.succeed(block)
+
+    def remove_block(self, block_id: int) -> None:
+        """Invalidate a replica (namenode command): free its disk space."""
+        block = self._blocks.pop(block_id, None)
+        if block is not None and self.disk.alive:
+            self.disk.release(block.size, HDFS_LABEL)
+
+    def __repr__(self) -> str:
+        return f"<Datanode {self.host} {self.state} blocks={len(self._blocks)}>"

@@ -1,0 +1,378 @@
+"""The simulated HDFS Namenode: namespace, block map, failure detection,
+and re-replication.
+
+The namenode is the stable "master server" of §III-B — it runs on the
+central server and is a single point of failure we do not fail.  It:
+
+- tracks datanodes via heartbeats and declares them dead after
+  ``heartbeat_timeout`` (stock ~15 min; HOG 30 s),
+- maintains the block → replica-locations map,
+- re-replicates blocks that fall below their file's replication target,
+  most-endangered first,
+- invalidates excess replicas when nodes return.
+
+Note that a *zombie* datanode (§IV-D1) keeps heartbeating, so the
+namenode continues to count its replicas — silently degrading real
+availability until the datanode's disk self-check (if enabled) kills it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from ..net.topology import NetworkTopology
+from ..sim.engine import Simulator
+from ..sim.events import Interrupt
+from ..sim.monitor import CounterSet
+from .block import Block, BlockInfo, FileInfo
+from .config import HdfsConfig
+from .datanode import Datanode
+from .placement import PlacementPolicy
+
+__all__ = ["Namenode", "DatanodeDescriptor", "HdfsError"]
+
+
+class HdfsError(Exception):
+    """Namespace operation failed."""
+
+
+class DatanodeDescriptor:
+    """Namenode-side view of one datanode."""
+
+    __slots__ = ("datanode", "last_heartbeat", "alive")
+
+    def __init__(self, datanode: Datanode, now: float) -> None:
+        self.datanode = datanode
+        self.last_heartbeat = now
+        #: Namenode's belief — may lag reality by up to the timeout.
+        self.alive = True
+
+    @property
+    def host(self) -> str:
+        """Hostname of the tracked datanode."""
+        return self.datanode.host
+
+
+class Namenode:
+    """Master metadata server for the simulated HDFS."""
+
+    def __init__(self, sim: Simulator, topology: NetworkTopology,
+                 placement: PlacementPolicy,
+                 config: Optional[HdfsConfig] = None) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.placement = placement
+        self.config = config or HdfsConfig()
+        self.config.validate()
+
+        self._files: Dict[str, FileInfo] = {}
+        self._blocks: Dict[int, BlockInfo] = {}
+        self._block_file: Dict[int, str] = {}
+        self._nodes: Dict[str, DatanodeDescriptor] = {}
+        self._host_blocks: Dict[str, Set[int]] = {}
+        self._needed: Set[int] = set()  # under-replicated block ids
+        self._next_block_id = 0
+        self.counters = CounterSet()
+        #: Called with the hostname whenever a datanode is declared dead.
+        self.dead_node_listeners: List[Callable[[str], None]] = []
+        self._monitors_started = False
+
+    # -- monitors ---------------------------------------------------------------
+    def start(self) -> None:
+        """Start the heartbeat and replication monitor loops."""
+        if self._monitors_started:
+            return
+        self._monitors_started = True
+        self.sim.process(self._heartbeat_monitor(), name="nn-hb-monitor")
+        self.sim.process(self._replication_monitor(), name="nn-repl-monitor")
+
+    def _heartbeat_monitor(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.config.heartbeat_recheck_period)
+                cutoff = self.sim.now - self.config.heartbeat_timeout
+                for desc in list(self._nodes.values()):
+                    if desc.alive and desc.last_heartbeat < cutoff:
+                        self._declare_dead(desc)
+        except Interrupt:
+            return
+
+    def _replication_monitor(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.config.replication_monitor_period)
+                self._schedule_replication_work()
+        except Interrupt:
+            return
+
+    # -- datanode protocol ---------------------------------------------------------
+    def register_datanode(self, datanode: Datanode) -> None:
+        """First contact from a datanode ("the slave servers will report to
+        the single master server").  Resolves its site via the topology
+        script and starts tracking heartbeats."""
+        host = datanode.host
+        self.topology.add_host(host)
+        self._nodes[host] = DatanodeDescriptor(datanode, self.sim.now)
+        self._host_blocks.setdefault(host, set())
+        self.counters.incr("datanodes_registered")
+        # A restarted node may still hold replicas from a previous life.
+        for bid in datanode.block_ids:
+            if bid in self._blocks:
+                self.block_received(bid, host)
+
+    def heartbeat(self, datanode: Datanode) -> None:
+        """Periodic datanode report.  A heartbeat from a node previously
+        declared dead re-registers it (Hadoop's re-registration path)."""
+        desc = self._nodes.get(datanode.host)
+        if desc is None or desc.datanode is not datanode:
+            self.register_datanode(datanode)
+            return
+        desc.last_heartbeat = self.sim.now
+        if not desc.alive:
+            desc.alive = True
+            self.counters.incr("datanodes_reregistered")
+            for bid in datanode.block_ids:
+                if bid in self._blocks:
+                    self.block_received(bid, datanode.host)
+
+    def _declare_dead(self, desc: DatanodeDescriptor) -> None:
+        """Heartbeat timeout fired: drop the node's replicas and queue
+        re-replication ("Data blocks stored on this node will be considered
+        lost and the Namenode will automatically replicate those blocks")."""
+        desc.alive = False
+        host = desc.host
+        self.counters.incr("datanodes_declared_dead")
+        for bid in list(self._host_blocks.get(host, ())):
+            self._remove_replica(bid, host)
+        for listener in self.dead_node_listeners:
+            listener(host)
+
+    # -- block map maintenance --------------------------------------------------------
+    def block_received(self, block_id: int, host: str) -> None:
+        """A datanode finalized a replica of ``block_id``."""
+        info = self._blocks.get(block_id)
+        if info is None:
+            return  # file deleted while the replica was in flight
+        info.replicas.add(host)
+        info.pending_targets.discard(host)
+        self._host_blocks.setdefault(host, set()).add(block_id)
+        target = self._replication_target(block_id)
+        if info.live_replica_count >= target:
+            self._needed.discard(block_id)
+        if info.live_replica_count > target:
+            self._invalidate_excess(info, target)
+
+    def _remove_replica(self, block_id: int, host: str) -> None:
+        info = self._blocks.get(block_id)
+        if info is None:
+            return
+        info.replicas.discard(host)
+        self._host_blocks.get(host, set()).discard(block_id)
+        if info.live_replica_count < self._replication_target(block_id):
+            self._needed.add(block_id)
+        if info.live_replica_count == 0:
+            self.counters.incr("blocks_all_replicas_lost")
+
+    def report_bad_replica(self, block_id: int, host: str) -> None:
+        """A client failed to read ``block_id`` from ``host``: drop that
+        replica and let the replication monitor repair."""
+        self.counters.incr("bad_replica_reports")
+        self._remove_replica(block_id, host)
+
+    def _invalidate_excess(self, info: BlockInfo, target: int) -> None:
+        """Remove replicas beyond the target.  A balancer-designated source
+        replica goes first; otherwise drain the most replica-crowded site
+        (preserving cross-site spread)."""
+        while info.live_replica_count > target:
+            if info.balancer_drop is not None and \
+                    info.balancer_drop in info.replicas:
+                victim = info.balancer_drop
+                info.balancer_drop = None
+            else:
+                by_site: Dict[str, List[str]] = {}
+                for h in info.replicas:
+                    by_site.setdefault(self.topology.site_of(h), []).append(h)
+                site = max(by_site, key=lambda s: (len(by_site[s]), s))
+                victim = sorted(by_site[site])[0]
+            desc = self._nodes.get(victim)
+            if desc is not None and desc.datanode.state == Datanode.RUNNING:
+                desc.datanode.remove_block(info.block.block_id)
+            info.replicas.discard(victim)
+            self._host_blocks.get(victim, set()).discard(info.block.block_id)
+            self.counters.incr("replicas_invalidated")
+
+    # -- replication ----------------------------------------------------------------
+    def _replication_target(self, block_id: int) -> int:
+        fname = self._block_file.get(block_id)
+        if fname is None:
+            return self.config.replication
+        return self._files[fname].replication
+
+    def _schedule_replication_work(self, work_limit: int = 64) -> None:
+        """One scan of the under-replicated queue, most endangered first."""
+        if not self._needed:
+            return
+        order = sorted(self._needed,
+                       key=lambda bid: self._blocks[bid].live_replica_count)
+        scheduled = 0
+        for bid in order:
+            if scheduled >= work_limit:
+                break
+            info = self._blocks.get(bid)
+            if info is None:
+                self._needed.discard(bid)
+                continue
+            target = self._replication_target(bid)
+            missing = target - info.live_replica_count - len(info.pending_targets)
+            if missing <= 0:
+                continue
+            sources = [h for h in info.replicas if self._is_usable_source(h)]
+            if not sources:
+                continue  # nothing to copy from (yet) — maybe a node returns
+            live = self.live_datanode_hosts()
+            size = info.block.size
+            targets = self.placement.choose_targets(
+                None, missing, info.replicas | info.pending_targets, live,
+                lambda h: self._can_host_store(h, size))
+            for tgt in targets:
+                src = min(sources, key=lambda h: self._nodes[h].datanode.active_repl_streams)
+                if self._nodes[src].datanode.active_repl_streams >= self.config.max_replication_streams:
+                    break
+                info.pending_targets.add(tgt)
+                self.sim.process(self._replicate(info, src, tgt),
+                                 name=f"nn-repl:{bid}->{tgt}")
+                scheduled += 1
+
+    def _replicate(self, info: BlockInfo, source: str, target: str):
+        """Copy one replica source→target; bookkeeping on either outcome."""
+        self.counters.incr("replications_started")
+        src_dn = self._nodes[source].datanode
+        tgt_dn = self._nodes[target].datanode
+        src_dn.active_repl_streams += 1
+        try:
+            yield tgt_dn.receive_block(info.block, source)
+            self.counters.incr("replications_completed")
+        except Exception:
+            info.pending_targets.discard(target)
+            self.counters.incr("replications_failed")
+            if info.block.block_id in self._blocks and \
+               info.live_replica_count < self._replication_target(info.block.block_id):
+                self._needed.add(info.block.block_id)
+        finally:
+            src_dn.active_repl_streams -= 1
+
+    def _is_usable_source(self, host: str) -> bool:
+        desc = self._nodes.get(host)
+        return (desc is not None and desc.alive
+                and desc.datanode.state == Datanode.RUNNING)
+
+    def _can_host_store(self, host: str, nbytes: float) -> bool:
+        desc = self._nodes.get(host)
+        return desc is not None and desc.alive and desc.datanode.can_store(nbytes)
+
+    def choose_write_targets(self, writer: Optional[str], size: float,
+                             count: int, existing: Optional[Set[str]] = None) -> List[str]:
+        """Pick datanodes for a new block's replica pipeline."""
+        live = self.live_datanode_hosts()
+        return self.placement.choose_targets(
+            writer, count, set(existing or ()), live,
+            lambda h: self._can_host_store(h, size))
+
+    # -- queries ------------------------------------------------------------------
+    def live_datanode_hosts(self) -> List[str]:
+        """Hosts the namenode currently *believes* are alive (includes
+        zombies — that is the point of §IV-D1)."""
+        return [h for h, d in self._nodes.items() if d.alive]
+
+    def num_live_datanodes(self) -> int:
+        """Count of believed-alive datanodes."""
+        return sum(1 for d in self._nodes.values() if d.alive)
+
+    def datanode(self, host: str) -> Datanode:
+        """The datanode object registered at ``host``."""
+        return self._nodes[host].datanode
+
+    def locate(self, block_id: int) -> List[str]:
+        """Believed replica locations of a block (alive descriptors only)."""
+        info = self._blocks.get(block_id)
+        if info is None:
+            raise HdfsError(f"unknown block {block_id}")
+        return [h for h in info.replicas
+                if h in self._nodes and self._nodes[h].alive]
+
+    def block_info(self, block_id: int) -> BlockInfo:
+        """Namenode-side record for a block."""
+        return self._blocks[block_id]
+
+    def under_replicated_count(self) -> int:
+        """Blocks currently below their replication target."""
+        return len(self._needed)
+
+    def missing_block_count(self) -> int:
+        """Blocks with zero believed replicas."""
+        return sum(1 for i in self._blocks.values() if i.live_replica_count == 0)
+
+    def total_block_count(self) -> int:
+        """All blocks in the namespace."""
+        return len(self._blocks)
+
+    # -- namespace ops ---------------------------------------------------------------
+    def create_file(self, name: str, size: float,
+                    replication: Optional[int] = None) -> FileInfo:
+        """Create ``name`` of ``size`` bytes, split into fixed-size blocks.
+
+        Replica placement happens when blocks are written (see
+        :class:`~repro.hdfs.client.HdfsClient`) or preloaded.
+        """
+        if name in self._files:
+            raise HdfsError(f"file exists: {name}")
+        if size < 0:
+            raise ValueError("file size cannot be negative")
+        fi = FileInfo(name, replication or self.config.replication)
+        remaining = float(size)
+        index = 0
+        while remaining > 0 or index == 0:
+            bsize = min(self.config.block_size, remaining) if size > 0 else 0.0
+            block = Block(self._next_block_id, name, bsize, index)
+            self._next_block_id += 1
+            fi.blocks.append(block)
+            self._blocks[block.block_id] = BlockInfo(block)
+            self._block_file[block.block_id] = name
+            remaining -= bsize
+            index += 1
+            if size == 0:
+                break
+        self._files[name] = fi
+        return fi
+
+    def get_file(self, name: str) -> FileInfo:
+        """Look up a file; raises :class:`HdfsError` if absent."""
+        fi = self._files.get(name)
+        if fi is None:
+            raise HdfsError(f"no such file: {name}")
+        return fi
+
+    def exists(self, name: str) -> bool:
+        """True if ``name`` is in the namespace."""
+        return name in self._files
+
+    def delete_file(self, name: str) -> None:
+        """Remove a file: invalidate all its replicas, free namespace."""
+        fi = self._files.pop(name, None)
+        if fi is None:
+            return
+        for block in fi.blocks:
+            info = self._blocks.pop(block.block_id, None)
+            self._block_file.pop(block.block_id, None)
+            self._needed.discard(block.block_id)
+            if info is None:
+                continue
+            for host in list(info.replicas):
+                desc = self._nodes.get(host)
+                if desc is not None and desc.datanode.state == Datanode.RUNNING:
+                    desc.datanode.remove_block(block.block_id)
+                self._host_blocks.get(host, set()).discard(block.block_id)
+
+    def __repr__(self) -> str:
+        return (f"<Namenode files={len(self._files)} blocks={len(self._blocks)} "
+                f"datanodes={self.num_live_datanodes()}/{len(self._nodes)}>")

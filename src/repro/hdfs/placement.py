@@ -1,0 +1,147 @@
+"""Block placement policies: Hadoop's rack-aware default and HOG's
+site-aware extension.
+
+Hadoop's default (rack awareness): first replica on the writer's node,
+second on a different rack, third on the same rack as the second, further
+replicas spread randomly.  HOG re-interprets "rack" as OSG *site* and adds
+a third failure level — "HOG's data placement and replication policy takes
+the site failure into account when it places data blocks" (§I) — so
+replicas of a block are spread across as many sites as possible, guarding
+against whole-site preemption bursts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..net.topology import NetworkTopology
+
+__all__ = ["PlacementError", "PlacementPolicy", "SiteAwarePolicy", "RandomPolicy"]
+
+
+class PlacementError(Exception):
+    """No viable targets exist for a block."""
+
+
+class PlacementPolicy:
+    """Interface: choose datanode targets for a block's replicas.
+
+    ``space_ok`` is a callback ``host -> bool`` testing whether the
+    datanode can accept one more block.
+    """
+
+    def choose_targets(
+        self,
+        writer: Optional[str],
+        count: int,
+        existing: Set[str],
+        candidates: Sequence[str],
+        space_ok: Callable[[str], bool],
+    ) -> List[str]:
+        """Return up to ``count`` hosts for new replicas.
+
+        Parameters
+        ----------
+        writer:
+            Host initiating the write (gets the first replica if it is a
+            viable datanode), or ``None`` for re-replication.
+        count:
+            Number of new replicas wanted.
+        existing:
+            Hosts already holding (or receiving) a replica; never chosen.
+        candidates:
+            Live datanode hosts.
+        space_ok:
+            Capacity predicate.
+        """
+        raise NotImplementedError
+
+
+class SiteAwarePolicy(PlacementPolicy):
+    """Spread replicas across failure domains (racks or sites).
+
+    The same code implements both stock rack awareness and HOG site
+    awareness: the failure domain is whatever the topology resolver
+    reports.  Selection order:
+
+    1. the writer's own node (data locality for the writer),
+    2. a node in a *different* domain than the first replica,
+    3. remaining replicas round-robin over the domains with the fewest
+       replicas so far, random node within the domain.
+    """
+
+    def __init__(self, topology: NetworkTopology, rng: np.random.Generator) -> None:
+        self.topology = topology
+        self.rng = rng
+
+    def choose_targets(self, writer, count, existing, candidates, space_ok):
+        """Pick targets per the site-spread rules (see class docstring)."""
+        chosen: List[str] = []
+        taken: Set[str] = set(existing)
+        viable = [h for h in candidates if h not in taken and space_ok(h)]
+        if not viable:
+            return []
+
+        by_site: Dict[str, List[str]] = {}
+        for h in viable:
+            by_site.setdefault(self.topology.site_of(h), []).append(h)
+        # Shuffle within each site for tie-breaking randomness.
+        for hosts in by_site.values():
+            self.rng.shuffle(hosts)
+
+        site_load: Dict[str, int] = {s: 0 for s in by_site}
+        for h in taken:
+            s = self.topology.site_of(h)
+            if s in site_load:
+                site_load[s] += 1
+
+        def take(host: str) -> None:
+            chosen.append(host)
+            taken.add(host)
+            s = self.topology.site_of(host)
+            by_site[s].remove(host)
+            if not by_site[s]:
+                del by_site[s]
+                del site_load[s]
+            else:
+                site_load[s] += 1
+
+        # 1. Writer-local replica.
+        if (writer is not None and len(chosen) < count and writer not in taken):
+            wsite = self.topology.site_of(writer)
+            if wsite in by_site and writer in by_site[wsite]:
+                take(writer)
+
+        # 2. Then always pick from the least-loaded domain (which realises
+        #    "one other rack/site" for the second replica and an even
+        #    spread for the rest).
+        while len(chosen) < count and by_site:
+            site = min(site_load, key=lambda s: (site_load[s], s))
+            take(by_site[site][0])
+
+        return chosen
+
+
+class RandomPolicy(PlacementPolicy):
+    """Topology-blind placement — the ablation baseline for site awareness
+    (what HOG would do if the topology script were absent and every node
+    fell into the default rack)."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def choose_targets(self, writer, count, existing, candidates, space_ok):
+        """Pick ``count`` random viable hosts (writer-local first)."""
+        taken = set(existing)
+        viable = [h for h in candidates if h not in taken and space_ok(h)]
+        chosen: List[str] = []
+        if writer is not None and writer in viable:
+            chosen.append(writer)
+            viable.remove(writer)
+        n = min(count - len(chosen), len(viable))
+        if n > 0:
+            picks = self.rng.choice(len(viable), size=n, replace=False)
+            chosen.extend(viable[i] for i in picks)
+        return chosen[:count]

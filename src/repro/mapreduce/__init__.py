@@ -1,0 +1,42 @@
+"""Simulated Hadoop MapReduce 1.0: jobtracker, tasktrackers, FIFO+speculative
+scheduling, and the shuffle."""
+
+from .config import MRConfig, hog_mr_config, stock_mr_config
+from .job import (
+    Job,
+    JobSpec,
+    JobStatus,
+    MapOutput,
+    Task,
+    TaskAttempt,
+    TaskStatus,
+    TaskType,
+)
+from .delay_scheduler import DelayScheduler
+from .jobtracker import JobFailedError, JobTracker, TrackerDescriptor
+from .matchmaking import MatchmakingScheduler
+from .scheduler import FifoScheduler, TaskScheduler
+from .tasktracker import TaskExecutionError, TaskTracker
+
+__all__ = [
+    "MRConfig",
+    "stock_mr_config",
+    "hog_mr_config",
+    "JobSpec",
+    "Job",
+    "JobStatus",
+    "Task",
+    "TaskAttempt",
+    "TaskStatus",
+    "TaskType",
+    "MapOutput",
+    "JobTracker",
+    "TrackerDescriptor",
+    "JobFailedError",
+    "TaskScheduler",
+    "FifoScheduler",
+    "DelayScheduler",
+    "MatchmakingScheduler",
+    "TaskTracker",
+    "TaskExecutionError",
+]

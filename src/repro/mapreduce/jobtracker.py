@@ -1,0 +1,358 @@
+"""The simulated JobTracker: job lifecycle, tracker tracking, failure
+handling.
+
+The jobtracker lives on the stable central server next to the namenode
+(§III-B).  Tasktrackers "report their status to the jobtracker and accept
+task assignments from it"; assignment happens when a heartbeat arrives
+from a tracker with free slots, mirroring MR1.
+
+Grid failure handling implemented here:
+
+- tracker expiry (no heartbeat for ``tracker_expiry`` seconds → lost):
+  running attempts are re-queued, and completed *map* outputs on the lost
+  node are re-executed if any unfinished reduce still needs them;
+- shuffle fetch failures: reported by reducers; the map re-runs when its
+  output host is gone;
+- per-job tracker blacklisting after repeated failures (which is what
+  eventually sidelines §IV-D1 zombie tasktrackers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..hdfs.block import Block
+from ..hdfs.namenode import Namenode
+from ..net.topology import NetworkTopology
+from ..sim.engine import Simulator
+from ..sim.events import Event, Interrupt
+from ..sim.monitor import CounterSet
+from .config import MRConfig
+from .job import (
+    Job,
+    JobSpec,
+    JobStatus,
+    MapOutput,
+    Task,
+    TaskAttempt,
+    TaskStatus,
+    TaskType,
+)
+from .tasktracker import TaskTracker
+
+__all__ = ["JobTracker", "TrackerDescriptor", "JobFailedError"]
+
+
+class JobFailedError(Exception):
+    """A job exhausted its retries."""
+
+
+class TrackerDescriptor:
+    """Jobtracker-side view of one tasktracker."""
+
+    __slots__ = ("tracker", "last_heartbeat", "alive")
+
+    def __init__(self, tracker: TaskTracker, now: float) -> None:
+        self.tracker = tracker
+        self.last_heartbeat = now
+        self.alive = True
+
+    @property
+    def host(self) -> str:
+        """Hostname of the tracked tasktracker."""
+        return self.tracker.host
+
+
+class JobTracker:
+    """Master scheduler for the simulated MapReduce framework."""
+
+    def __init__(self, sim: Simulator, namenode: Namenode,
+                 topology: NetworkTopology,
+                 config: Optional[MRConfig] = None,
+                 scheduler_factory: Optional[Callable] = None) -> None:
+        self.sim = sim
+        self.namenode = namenode
+        self.topology = topology
+        self.config = config or MRConfig()
+        self.config.validate()
+        if scheduler_factory is None:
+            scheduler_factory = self._resolve_scheduler(self.config.scheduler)
+        self.scheduler = scheduler_factory(self)
+        self._trackers: Dict[str, TrackerDescriptor] = {}
+        self._jobs: List[Job] = []
+        self._next_job_id = 0
+        self._input_blocks: Dict[int, List[Block]] = {}
+        #: Fetch-failure strikes per (job_id, map_index).
+        self._fetch_failures: Dict[tuple, int] = {}
+        #: Per-job, per-tracker attempt failures (drives blacklisting).
+        self._tracker_failures: Dict[tuple, int] = {}
+        self.counters = CounterSet()
+        #: Fired with the Job whenever one finishes (success or failure).
+        self.job_done_listeners: List[Callable[[Job], None]] = []
+        self._monitor_started = False
+
+    @staticmethod
+    def _resolve_scheduler(name: str):
+        """Map a config scheduler name to its class (import-cycle safe)."""
+        from .delay_scheduler import DelayScheduler
+        from .matchmaking import MatchmakingScheduler
+        from .scheduler import FifoScheduler
+        return {"fifo": FifoScheduler, "delay": DelayScheduler,
+                "matchmaking": MatchmakingScheduler}[name]
+
+    # -- lifecycle --------------------------------------------------------------
+    def start(self) -> None:
+        """Start the tracker-expiry monitor."""
+        if self._monitor_started:
+            return
+        self._monitor_started = True
+        self.sim.process(self._expiry_monitor(), name="jt-expiry-monitor")
+
+    def _expiry_monitor(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.config.expiry_check_period)
+                cutoff = self.sim.now - self.config.tracker_expiry
+                for desc in list(self._trackers.values()):
+                    if desc.alive and desc.last_heartbeat < cutoff:
+                        self._lost_tracker(desc)
+                # Safety net: a task whose every attempt died without a
+                # failure report (e.g. its tracker was replaced in place
+                # before expiry) must return to the pending queue.  Only
+                # RUNNING tasks can be in that state.
+                for job in self.active_jobs():
+                    for task in list(job.running_map_tasks):
+                        self._requeue_if_needed(task)
+                    for task in list(job.running_reduce_tasks):
+                        self._requeue_if_needed(task)
+        except Interrupt:
+            return
+
+    # -- tracker protocol ------------------------------------------------------------
+    def register_tracker(self, tracker: TaskTracker) -> None:
+        """First contact from a tasktracker; resolves its site."""
+        self.topology.add_host(tracker.host)
+        self._trackers[tracker.host] = TrackerDescriptor(tracker, self.sim.now)
+        self.counters.incr("trackers_registered")
+
+    def heartbeat(self, tracker: TaskTracker) -> None:
+        """Tracker status report; schedules tasks onto its free slots."""
+        desc = self._trackers.get(tracker.host)
+        if desc is None or desc.tracker is not tracker:
+            self.register_tracker(tracker)
+            desc = self._trackers[tracker.host]
+        desc.last_heartbeat = self.sim.now
+        if not desc.alive:
+            desc.alive = True
+            self.counters.incr("trackers_reregistered")
+        for task, speculative, locality in self.scheduler.assign(tracker):
+            self._launch(task, tracker, speculative, locality)
+
+    def _lost_tracker(self, desc: TrackerDescriptor) -> None:
+        """Heartbeat expiry: recover the lost node's work."""
+        desc.alive = False
+        host = desc.host
+        self.counters.incr("trackers_lost")
+        # 1. Re-queue attempts that were running there.  Attempts may
+        #    already be marked failed (the kill happened before expiry);
+        #    what matters is returning their tasks to the pending queue.
+        for job in self.active_jobs():
+            for task in list(job.running_map_tasks) + list(job.running_reduce_tasks):
+                for attempt in task.running_attempts:
+                    if attempt.tracker.host == host:
+                        attempt.status = TaskStatus.FAILED
+                self._requeue_if_needed(task)
+            # 2. Re-execute completed maps whose output lived on the lost
+            #    node and is still needed by an unfinished reduce.
+            for idx, output in list(job.map_outputs.items()):
+                if output.host != host:
+                    continue
+                if self._output_still_needed(job, output):
+                    job.retract_map_output(idx)
+                    task = job.maps[idx]
+                    if task.status == TaskStatus.COMPLETED:
+                        task.set_status(TaskStatus.PENDING)
+                        task.finish_time = None
+                        task.completed_on = None
+                        self.counters.incr("maps_reexecuted")
+
+    @staticmethod
+    def _output_still_needed(job: Job, output: MapOutput) -> bool:
+        for reduce in job.reduces:
+            if reduce.status != TaskStatus.COMPLETED and \
+                    reduce.index not in output.fetched_by:
+                return True
+        return False
+
+    def _requeue_if_needed(self, task: Task) -> None:
+        if task.status == TaskStatus.RUNNING and not task.running_attempts:
+            task.set_status(TaskStatus.PENDING)
+
+    def live_tracker_count(self) -> int:
+        """Trackers the jobtracker currently believes alive."""
+        return sum(1 for d in self._trackers.values() if d.alive)
+
+    def tracker(self, host: str) -> TaskTracker:
+        """The tracker object registered at ``host``."""
+        return self._trackers[host].tracker
+
+    # -- job lifecycle ----------------------------------------------------------------
+    def submit_job(self, spec: JobSpec) -> Job:
+        """Accept a job whose input file already exists in HDFS."""
+        spec.validate()
+        fi = self.namenode.get_file(spec.input_file)
+        data_blocks = [b for b in fi.blocks if b.size > 0]
+        if len(data_blocks) < spec.num_maps:
+            raise ValueError(
+                f"input {spec.input_file} has {len(data_blocks)} blocks, "
+                f"job wants {spec.num_maps} maps")
+        job = Job(self._next_job_id, spec, self.sim.now)
+        self._next_job_id += 1
+        self._jobs.append(job)
+        self._input_blocks[job.job_id] = data_blocks[:spec.num_maps]
+        self.counters.incr("jobs_submitted")
+        return job
+
+    def input_blocks(self, job: Job) -> List[Block]:
+        """The input blocks (one per map task) of a job."""
+        return self._input_blocks[job.job_id]
+
+    def jobs(self) -> List[Job]:
+        """All jobs ever submitted, in submit order."""
+        return list(self._jobs)
+
+    def active_jobs(self) -> List[Job]:
+        """Jobs not yet finished, in FIFO order."""
+        return [j for j in self._jobs
+                if j.status in (JobStatus.WAITING, JobStatus.RUNNING)]
+
+    def schedulable_jobs(self) -> List[Job]:
+        """FIFO view the scheduler iterates."""
+        return self.active_jobs()
+
+    # -- task events --------------------------------------------------------------------
+    def _launch(self, task: Task, tracker: TaskTracker, speculative: bool,
+                locality: str) -> None:
+        job = task.job
+        if job.status == JobStatus.WAITING:
+            job.status = JobStatus.RUNNING
+            job.start_time = self.sim.now
+        attempt = TaskAttempt(task, tracker, self.sim.now, speculative)
+        task.attempts.append(attempt)
+        if task.status == TaskStatus.PENDING:
+            task.set_status(TaskStatus.RUNNING)
+        if task.type == TaskType.MAP and not speculative:
+            job.locality_counters[locality] += 1
+        if speculative:
+            self.counters.incr("speculative_attempts")
+        self.counters.incr(f"{task.type}_attempts_launched")
+        tracker.launch(attempt)
+
+    def map_attempt_completed(self, attempt: TaskAttempt,
+                              output: MapOutput) -> None:
+        """A map attempt finished; first winner completes the task."""
+        task = attempt.task
+        job = task.job
+        if task.status == TaskStatus.COMPLETED or job.status != JobStatus.RUNNING:
+            return  # lost the speculation race (or job already over)
+        task.set_status(TaskStatus.COMPLETED)
+        task.finish_time = self.sim.now
+        task.completed_on = attempt.tracker.host
+        job.note_task_duration(task.type, self.sim.now - attempt.start_time)
+        self._kill_other_attempts(task, attempt)
+        job.publish_map_output(output)
+        self.counters.incr("maps_completed")
+        self._maybe_finish_job(job)
+
+    def reduce_attempt_completed(self, attempt: TaskAttempt) -> None:
+        """A reduce attempt finished; first winner completes the task."""
+        task = attempt.task
+        job = task.job
+        if task.status == TaskStatus.COMPLETED or job.status != JobStatus.RUNNING:
+            return
+        task.set_status(TaskStatus.COMPLETED)
+        task.finish_time = self.sim.now
+        task.completed_on = attempt.tracker.host
+        job.note_task_duration(task.type, self.sim.now - attempt.start_time)
+        self._kill_other_attempts(task, attempt)
+        self.counters.incr("reduces_completed")
+        self._maybe_finish_job(job)
+
+    def _kill_other_attempts(self, task: Task, winner: TaskAttempt) -> None:
+        for attempt in list(task.running_attempts):
+            if attempt is not winner:
+                attempt.tracker.kill_attempt(attempt)
+                self.counters.incr("speculative_attempts_killed")
+
+    def attempt_failed(self, attempt: TaskAttempt, reason: str) -> None:
+        """An attempt reported failure: count, maybe blacklist, re-queue."""
+        task = attempt.task
+        job = task.job
+        if task.status == TaskStatus.COMPLETED or job.status != JobStatus.RUNNING:
+            return
+        task.failures += 1
+        self.counters.incr("attempts_failed")
+        key = (job.job_id, attempt.tracker.host)
+        self._tracker_failures[key] = self._tracker_failures.get(key, 0) + 1
+        if self._tracker_failures[key] >= self.config.tracker_blacklist_failures:
+            if attempt.tracker.host not in job.blacklist:
+                job.blacklist.add(attempt.tracker.host)
+                self.counters.incr("trackers_blacklisted")
+        if task.failures >= self.config.max_attempts:
+            self._fail_job(job, f"{task!r} failed {task.failures} times: {reason}")
+            return
+        self._requeue_if_needed(task)
+
+    def report_fetch_failure(self, job: Job, map_index: int, host: str) -> None:
+        """A reducer could not fetch a map output from ``host``.
+
+        The map re-runs immediately when the host is known-lost, or after
+        three strikes otherwise (transient network trouble)."""
+        self.counters.incr("fetch_failures")
+        desc = self._trackers.get(host)
+        key = (job.job_id, map_index)
+        self._fetch_failures[key] = self._fetch_failures.get(key, 0) + 1
+        host_gone = desc is None or not desc.alive or not desc.tracker.is_alive
+        if host_gone or self._fetch_failures[key] >= 3:
+            self._fetch_failures[key] = 0
+            output = job.map_outputs.get(map_index)
+            if output is not None and output.host == host:
+                job.retract_map_output(map_index)
+                task = job.maps[map_index]
+                if task.status == TaskStatus.COMPLETED:
+                    task.set_status(TaskStatus.PENDING)
+                    task.finish_time = None
+                    task.completed_on = None
+                    self.counters.incr("maps_reexecuted")
+
+    # -- job completion --------------------------------------------------------------------
+    def _maybe_finish_job(self, job: Job) -> None:
+        if not job.is_complete:
+            return
+        job.status = JobStatus.SUCCEEDED
+        job.finish_time = self.sim.now
+        self.counters.incr("jobs_succeeded")
+        self._cleanup_job(job)
+
+    def _fail_job(self, job: Job, reason: str) -> None:
+        job.status = JobStatus.FAILED
+        job.finish_time = self.sim.now
+        self.counters.incr("jobs_failed")
+        for task in list(job.maps) + list(job.reduces):
+            for attempt in task.running_attempts:
+                attempt.tracker.kill_attempt(attempt)
+        self._cleanup_job(job)
+
+    def _cleanup_job(self, job: Job) -> None:
+        """Free intermediate map output everywhere — only now, because
+        "Hadoop will not delete map intermediate data until the entire job
+        is done" (§IV-D2)."""
+        for desc in self._trackers.values():
+            if desc.tracker.is_alive:
+                desc.tracker.cleanup_job(job)
+        for listener in self.job_done_listeners:
+            listener(job)
+
+    def __repr__(self) -> str:
+        return (f"<JobTracker trackers={self.live_tracker_count()}/"
+                f"{len(self._trackers)} jobs={len(self._jobs)}>")

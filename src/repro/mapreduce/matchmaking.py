@@ -1,0 +1,84 @@
+"""Matchmaking scheduling (He, Lu, Swanson, CloudCom 2011 — ref [20]).
+
+The HOG authors' own locality technique, used alongside delay scheduling
+to evaluate Hadoop schedulers on the same loadgen workload.  The rule:
+
+1. On a heartbeat, every queued job (not just the head) gets a chance to
+   offer a *node-local* map task for this node.
+2. If none of the jobs has a local task, the node is given a non-local
+   task only if it has already been passed over once since the last new
+   job arrived — tracked with a per-node *locality marker*.  Markers are
+   cleared whenever a new job is enqueued, giving fresh jobs a fair shot
+   at locality everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .job import Job, Task, TaskStatus, TaskType
+from .scheduler import FifoScheduler
+
+__all__ = ["MatchmakingScheduler"]
+
+
+class MatchmakingScheduler(FifoScheduler):
+    """All-jobs local matching with one-heartbeat patience per node."""
+
+    def __init__(self, jobtracker) -> None:
+        super().__init__(jobtracker)
+        #: host → True once the node has been refused a task this round.
+        self._marker: Dict[str, bool] = {}
+        self._jobs_seen = 0
+
+    def _maybe_reset_markers(self, jobs) -> None:
+        if len(jobs) != self._jobs_seen:
+            # New job arrived (or one finished): clear all markers so
+            # every node re-tries for locality first.
+            self._marker.clear()
+            self._jobs_seen = len(jobs)
+
+    def _pick_map(self, tracker, jobs, already) -> Optional[Tuple[Task, bool, str]]:
+        self._maybe_reset_markers(jobs)
+        chosen_tasks = {t for t, _, _ in already}
+
+        # Pass 1: any job with a node-local pending map for this tracker.
+        for job in jobs:
+            if tracker.host in job.blacklist or not job.pending_map_tasks:
+                continue
+            idx = self._index_for(job)
+            for task in idx.host_maps.get(tracker.host, ()):
+                if task.status == TaskStatus.PENDING and task not in chosen_tasks:
+                    self._marker.pop(tracker.host, None)
+                    return task, False, "data_local"
+
+        # Pass 2: site-local, same all-jobs sweep.
+        site = self.jobtracker.topology.site_of(tracker.host)
+        for job in jobs:
+            if tracker.host in job.blacklist or not job.pending_map_tasks:
+                continue
+            idx = self._index_for(job)
+            for task in idx.site_maps.get(site, ()):
+                if task.status == TaskStatus.PENDING and task not in chosen_tasks:
+                    self._marker.pop(tracker.host, None)
+                    return task, False, "site_local"
+
+        # Pass 3: non-local — only for a node already marked (it waited
+        # one round), and only from the head-of-queue job (FIFO fairness).
+        if self._marker.get(tracker.host):
+            for job in jobs:
+                if tracker.host in job.blacklist:
+                    continue
+                for task in job.pending_map_tasks:
+                    if task not in chosen_tasks:
+                        self._marker.pop(tracker.host, None)
+                        return task, False, "remote"
+                if self.config.speculative_execution:
+                    cand = self._speculation_candidate(
+                        job, TaskType.MAP, tracker, chosen_tasks)
+                    if cand is not None:
+                        return cand, True, self._locality_of(job, cand, tracker)
+            return None
+        # First refusal: mark the node and send it away empty-handed.
+        self._marker[tracker.host] = True
+        return None

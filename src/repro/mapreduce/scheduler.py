@@ -1,0 +1,204 @@
+"""Task scheduling: FIFO job order, locality-aware map assignment, and
+speculative execution.
+
+"In the current version of HOG, we follow Apache Hadoop's FIFO job
+scheduling policy with speculative execution enabled.  At any time, a task
+has at most two copies of execution in the system." (§III-B2)
+
+"The default Hadoop scheduler will attempt to schedule Map tasks on nodes
+that have the input data.  If it is unable to find a data local node, it
+will attempt to schedule the Map task in the same site as the input data."
+(§III-B2) — the locality ladder implemented by :meth:`FifoScheduler._pick_map`.
+
+Like Hadoop's JobInProgress, the scheduler builds per-job caches mapping
+each host (and each site) to the map tasks whose input blocks live there,
+computed once at job initialization from the block locations.  This keeps
+per-heartbeat work O(1)-ish even with thousands of trackers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .job import Job, JobStatus, Task, TaskStatus, TaskType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .jobtracker import JobTracker
+    from .tasktracker import TaskTracker
+
+__all__ = ["TaskScheduler", "FifoScheduler"]
+
+
+class TaskScheduler:
+    """Interface: pick tasks for a tracker with free slots."""
+
+    def __init__(self, jobtracker: "JobTracker") -> None:
+        self.jobtracker = jobtracker
+        self.config = jobtracker.config
+
+    def assign(self, tracker: "TaskTracker") -> List[Tuple[Task, bool, str]]:
+        """Return ``(task, speculative, locality)`` assignments for one
+        heartbeat from ``tracker``.  ``locality`` is one of ``data_local``,
+        ``site_local``, ``remote`` for maps and ``n/a`` for reduces."""
+        raise NotImplementedError
+
+
+class _JobLocalityIndex:
+    """Host → map tasks and site → map tasks, from initial block placement."""
+
+    __slots__ = ("host_maps", "site_maps")
+
+    def __init__(self, job: Job, jobtracker: "JobTracker") -> None:
+        self.host_maps: Dict[str, List[Task]] = {}
+        self.site_maps: Dict[str, List[Task]] = {}
+        blocks = jobtracker.input_blocks(job)
+        topo = jobtracker.topology
+        for task in job.maps:
+            try:
+                locations = jobtracker.namenode.locate(blocks[task.index].block_id)
+            except Exception:
+                locations = []
+            sites = set()
+            for host in locations:
+                self.host_maps.setdefault(host, []).append(task)
+                sites.add(topo.site_of(host))
+            for site in sites:
+                self.site_maps.setdefault(site, []).append(task)
+
+
+class FifoScheduler(TaskScheduler):
+    """Hadoop 0.20's default scheduler, as used by HOG."""
+
+    def __init__(self, jobtracker: "JobTracker") -> None:
+        super().__init__(jobtracker)
+        self._index: Dict[int, _JobLocalityIndex] = {}
+
+    def _index_for(self, job: Job) -> _JobLocalityIndex:
+        idx = self._index.get(job.job_id)
+        if idx is None:
+            idx = self._index[job.job_id] = _JobLocalityIndex(job, self.jobtracker)
+        return idx
+
+    def assign(self, tracker: "TaskTracker") -> List[Tuple[Task, bool, str]]:
+        """One heartbeat's assignments for ``tracker`` (see base class)."""
+        out: List[Tuple[Task, bool, str]] = []
+        jobs = self.jobtracker.schedulable_jobs()
+        if not jobs:
+            return out
+
+        for _ in range(min(tracker.free_map_slots, self.config.maps_per_heartbeat)):
+            pick = self._pick_map(tracker, jobs, already=out)
+            if pick is None:
+                break
+            out.append(pick)
+
+        for _ in range(min(tracker.free_reduce_slots,
+                           self.config.reduces_per_heartbeat)):
+            pick = self._pick_reduce(tracker, jobs, already=out)
+            if pick is None:
+                break
+            out.append(pick)
+        return out
+
+    # -- map selection -----------------------------------------------------------
+    def _pick_map(self, tracker, jobs, already) -> Optional[Tuple[Task, bool, str]]:
+        chosen_tasks = {t for t, _, _ in already}
+        for job in jobs:
+            if tracker.host in job.blacklist:
+                continue
+            if job.pending_map_tasks:
+                task, locality = self._most_local(job, tracker, chosen_tasks)
+                if task is not None:
+                    return task, False, locality
+            if self.config.speculative_execution:
+                cand = self._speculation_candidate(job, TaskType.MAP, tracker,
+                                                   chosen_tasks)
+                if cand is not None:
+                    return cand, True, self._locality_of(job, cand, tracker)
+        return None
+
+    def _most_local(self, job: Job, tracker,
+                    chosen_tasks) -> Tuple[Optional[Task], str]:
+        """Locality ladder: node-local block → site-local block → any."""
+
+        def first_pending(tasks: List[Task]) -> Optional[Task]:
+            for t in tasks:
+                if t.status == TaskStatus.PENDING and t not in chosen_tasks:
+                    return t
+            return None
+
+        idx = self._index_for(job)
+        task = first_pending(idx.host_maps.get(tracker.host, ()))
+        if task is not None:
+            return task, "data_local"
+        site = self.jobtracker.topology.site_of(tracker.host)
+        task = first_pending(idx.site_maps.get(site, ()))
+        if task is not None:
+            return task, "site_local"
+        for t in job.pending_map_tasks:
+            if t not in chosen_tasks:
+                return t, "remote"
+        return None, "remote"
+
+    def _locality_of(self, job: Job, task: Task, tracker) -> str:
+        idx = self._index_for(job)
+        if task in idx.host_maps.get(tracker.host, ()):
+            return "data_local"
+        site = self.jobtracker.topology.site_of(tracker.host)
+        if task in idx.site_maps.get(site, ()):
+            return "site_local"
+        return "remote"
+
+    # -- reduce selection -----------------------------------------------------------
+    def _pick_reduce(self, tracker, jobs, already) -> Optional[Tuple[Task, bool, str]]:
+        chosen_tasks = {t for t, _, _ in already}
+        for job in jobs:
+            if tracker.host in job.blacklist:
+                continue
+            if not job.reduces_schedulable(self.config.reduce_slowstart):
+                continue
+            if job.pending_reduce_tasks:
+                best = None
+                for t in job.pending_reduce_tasks:
+                    if t not in chosen_tasks and (best is None
+                                                  or t.index < best.index):
+                        best = t
+                if best is not None:
+                    return best, False, "n/a"
+            if self.config.speculative_execution:
+                cand = self._speculation_candidate(job, TaskType.REDUCE, tracker,
+                                                   chosen_tasks)
+                if cand is not None:
+                    return cand, True, "n/a"
+        return None
+
+    # -- speculation -----------------------------------------------------------------
+    def _speculation_candidate(self, job: Job, task_type: str, tracker,
+                               chosen_tasks) -> Optional[Task]:
+        """A running task whose attempt is 1/3 slower than the job average,
+        eligible for one more copy, and not already running on this node."""
+        avg = job.average_completed_duration(task_type)
+        if avg is None:
+            return None
+        running_set = (job.running_map_tasks if task_type == TaskType.MAP
+                       else job.running_reduce_tasks)
+        if not running_set:
+            return None
+        threshold = max(self.config.speculation_min_elapsed,
+                        self.config.speculation_slowness_factor * avg)
+        now = self.jobtracker.sim.now
+        best: Optional[Task] = None
+        best_elapsed = threshold
+        for task in running_set:
+            if task in chosen_tasks:
+                continue
+            running = task.running_attempts
+            if not running or len(running) >= self.config.max_task_copies:
+                continue
+            if any(a.tracker.host == tracker.host for a in running):
+                continue
+            elapsed = now - min(a.start_time for a in running)
+            if elapsed >= best_elapsed:
+                best = task
+                best_elapsed = elapsed
+        return best

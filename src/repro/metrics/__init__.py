@@ -1,0 +1,8 @@
+"""Measurement and reporting utilities."""
+
+from .ascii_plot import plot_series, plot_xy
+from .report import WorkloadResult, format_table
+from ..sim.monitor import CounterSet, EventLog, StepSeries
+
+__all__ = ["WorkloadResult", "format_table", "StepSeries", "CounterSet",
+           "EventLog", "plot_series", "plot_xy"]

@@ -1,0 +1,74 @@
+"""Workload-level results and plain-text report tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["WorkloadResult", "format_table"]
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of running one submission schedule on one system.
+
+    The paper's headline metric is the workload **response time**: "Two
+    systems have equivalent performance if they have the same response
+    time for a given workload" (§IV-A).  We measure it as the span from
+    the first submission to the last job completion.
+    """
+
+    system: str
+    #: Requested node count (HOG) or fixed size (cluster).
+    nodes: int
+    #: Simulated time of the first job submission.
+    start_time: float
+    #: Simulated time of the last job completion.
+    end_time: float
+    #: Per-job response times keyed by bin id.
+    bin_responses: Dict[int, List[float]] = field(default_factory=dict)
+    #: Jobs that failed (should be empty in healthy runs).
+    failed_jobs: int = 0
+    #: Area beneath the believed-node-count curve over the execution
+    #: window (Table IV), if node counts were tracked.
+    node_area: Optional[float] = None
+    #: Map-launch locality histogram summed over jobs.
+    locality: Dict[str, int] = field(default_factory=dict)
+    #: Interesting raw counters from the masters.
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def response_time(self) -> float:
+        """Workload response time (seconds)."""
+        return self.end_time - self.start_time
+
+    @property
+    def mean_nodes(self) -> Optional[float]:
+        """Time-averaged node count over the execution (from the area)."""
+        if self.node_area is None or self.response_time <= 0:
+            return None
+        return self.node_area / self.response_time
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        area = f" area={self.node_area:.0f}" if self.node_area is not None else ""
+        return (f"{self.system}[{self.nodes}]: response={self.response_time:.0f}s"
+                f"{area} failed={self.failed_jobs}")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned plain-text table (benchmark harness output)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in cells[1:])
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Network substrate: topology (site awareness) and the shared fabric."""
+
+from .fabric import FabricConfig, Flow, Link, NetworkFabric, TransferFailed
+from .topology import (
+    DEFAULT_SITE,
+    DnsSiteResolver,
+    FlatResolver,
+    NetworkTopology,
+    SiteResolver,
+)
+
+__all__ = [
+    "NetworkTopology",
+    "SiteResolver",
+    "DnsSiteResolver",
+    "FlatResolver",
+    "DEFAULT_SITE",
+    "NetworkFabric",
+    "FabricConfig",
+    "Flow",
+    "Link",
+    "TransferFailed",
+]

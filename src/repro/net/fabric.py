@@ -1,0 +1,349 @@
+"""Fluid-flow network model with max-min fair bandwidth sharing.
+
+Every byte that moves between simulated hosts — HDFS write pipelines,
+remote block reads, and the MapReduce shuffle — is a :class:`Flow` through
+this fabric.  A flow's path is:
+
+- intra-site: ``src NIC(tx) → dst NIC(rx)`` (site switches assumed
+  non-blocking, as Hadoop assumes for racks), or
+- inter-site: ``src NIC(tx) → src site WAN uplink → dst site WAN downlink →
+  dst NIC(rx)``.
+
+Rates are the max-min fair allocation over link capacities, recomputed by
+progressive filling whenever the set of flows changes.  This captures the
+paper's central bandwidth asymmetry — "sites usually have very high
+bandwidth between their worker nodes, and lower bandwidth to the outside
+world" (§III-B1) — which is what makes site-aware placement and scheduling
+pay off, and what makes the cross-site shuffle slow (§IV-D2).
+
+Latency is charged once per transfer, before the fluid phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.events import Event
+from .topology import NetworkTopology
+
+__all__ = ["FabricConfig", "TransferFailed", "Flow", "Link", "NetworkFabric"]
+
+
+@dataclass
+class FabricConfig:
+    """Capacities and latencies of the simulated network.
+
+    Defaults model the paper's environment: 1 Gbps node NICs (Table III),
+    multi-Gbps site uplinks shared by all of a site's workers, sub-ms LAN
+    round trips and tens-of-ms WAN round trips.
+    """
+
+    #: Per-node NIC bandwidth, bytes/second (1 Gbps full duplex).
+    nic_bandwidth: float = 125e6
+    #: Per-site WAN uplink/downlink bandwidth, bytes/second (default 10 Gbps).
+    site_uplink_bandwidth: float = 1250e6
+    #: One-way latency between two nodes in the same site, seconds.
+    intra_site_latency: float = 0.0005
+    #: One-way latency between nodes in different sites, seconds (WAN).
+    inter_site_latency: float = 0.040
+    #: Extra per-transfer protocol overhead, seconds (HTTP/RPC setup; the
+    #: paper notes HOG's jobtracker/tasktracker HTTP runs over the WAN).
+    connection_overhead: float = 0.0
+    #: Per-transfer handshake cost in round trips (TCP + HTTP setup).
+    #: Charged as ``handshake_rtts * 2 * latency``, so cross-site
+    #: transfers pay far more than LAN ones — "the HTTP requests and
+    #: responses are over the WAN which has high latency and long
+    #: transmission time compared with the LAN of a cluster ... it is
+    #: expected that the startup and data transfer initiations will be
+    #: increased" (§III-B2).
+    handshake_rtts: float = 0.0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on non-physical settings."""
+        if self.nic_bandwidth <= 0 or self.site_uplink_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.intra_site_latency < 0 or self.inter_site_latency < 0:
+            raise ValueError("latencies cannot be negative")
+        if self.connection_overhead < 0 or self.handshake_rtts < 0:
+            raise ValueError("connection overheads cannot be negative")
+
+
+class TransferFailed(Exception):
+    """A transfer was aborted (endpoint died mid-flight)."""
+
+
+class Link:
+    """A capacity-constrained directed resource (NIC direction or WAN leg)."""
+
+    __slots__ = ("name", "capacity", "flows")
+
+    def __init__(self, name: str, capacity: float) -> None:
+        self.name = name
+        self.capacity = float(capacity)
+        #: Flows currently traversing this link.
+        self.flows: Set["Flow"] = set()
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} cap={self.capacity:g} flows={len(self.flows)}>"
+
+
+class Flow:
+    """One in-flight transfer."""
+
+    __slots__ = (
+        "id", "src", "dst", "size", "remaining", "rate", "links",
+        "done", "_last_update", "_timer_version",
+    )
+
+    def __init__(self, fid: int, src: str, dst: str, size: float,
+                 links: List[Link], done: Event, now: float) -> None:
+        self.id = fid
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.links = links
+        self.done = done
+        self._last_update = now
+        self._timer_version = 0
+
+    def __repr__(self) -> str:
+        return (f"<Flow #{self.id} {self.src}->{self.dst} "
+                f"{self.remaining:.0f}/{self.size:.0f}B @{self.rate:g}B/s>")
+
+
+class NetworkFabric:
+    """The shared network all simulated hosts communicate over."""
+
+    #: Residual bytes below which a flow counts as drained (guards against
+    #: floating-point residue stranding a nearly-done flow).
+    EPSILON = 1e-3
+
+    def __init__(self, sim: Simulator, topology: NetworkTopology,
+                 config: Optional[FabricConfig] = None) -> None:
+        config = config or FabricConfig()
+        config.validate()
+        self.sim = sim
+        self.topology = topology
+        self.config = config
+        self._node_tx: Dict[str, Link] = {}
+        self._node_rx: Dict[str, Link] = {}
+        self._site_tx: Dict[str, Link] = {}
+        self._site_rx: Dict[str, Link] = {}
+        self._flows: Set[Flow] = set()
+        self._flow_counter = 0
+        self._rebalance_scheduled = False
+        #: Total bytes ever delivered, by (same-site?) class — used by tests
+        #: and locality accounting.
+        self.bytes_intra_site = 0.0
+        self.bytes_inter_site = 0.0
+
+    # -- link management -----------------------------------------------------
+    def _nic(self, host: str, direction: str) -> Link:
+        table = self._node_tx if direction == "tx" else self._node_rx
+        link = table.get(host)
+        if link is None:
+            link = Link(f"nic-{direction}:{host}", self.config.nic_bandwidth)
+            table[host] = link
+        return link
+
+    def _wan(self, site: str, direction: str) -> Link:
+        table = self._site_tx if direction == "tx" else self._site_rx
+        link = table.get(site)
+        if link is None:
+            link = Link(f"wan-{direction}:{site}", self.config.site_uplink_bandwidth)
+            table[site] = link
+        return link
+
+    def _path(self, src: str, dst: str) -> Tuple[List[Link], bool]:
+        """Links for a src→dst flow and whether it stays inside one site."""
+        same = self.topology.same_site(src, dst)
+        links = [self._nic(src, "tx")]
+        if not same:
+            links.append(self._wan(self.topology.site_of(src), "tx"))
+            links.append(self._wan(self.topology.site_of(dst), "rx"))
+        links.append(self._nic(dst, "rx"))
+        return links, same
+
+    # -- public API ------------------------------------------------------------
+    def latency(self, src: str, dst: str) -> float:
+        """One-way latency between two hosts."""
+        if src == dst:
+            return 0.0
+        if self.topology.same_site(src, dst):
+            return self.config.intra_site_latency
+        return self.config.inter_site_latency
+
+    def transfer(self, src: str, dst: str, nbytes: float) -> Event:
+        """Move ``nbytes`` from ``src`` to ``dst``.
+
+        Returns an event that succeeds (value = the :class:`Flow`) when the
+        last byte lands, or fails with :class:`TransferFailed` if an
+        endpoint is torn down mid-transfer.  Loopback transfers complete
+        after zero network time.
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot transfer {nbytes!r} bytes")
+        done = self.sim.event()
+        if src == dst or nbytes == 0:
+            done.succeed(None)
+            return done
+
+        links, same = self._path(src, dst)
+        if same:
+            self.bytes_intra_site += nbytes
+        else:
+            self.bytes_inter_site += nbytes
+
+        self._flow_counter += 1
+        flow = Flow(self._flow_counter, src, dst, nbytes, links, done, self.sim.now)
+        delay = self._setup_delay(src, dst)
+
+        def start(_ev: Event) -> None:
+            if done.triggered:  # aborted during the latency phase
+                return
+            self._flows.add(flow)
+            flow._last_update = self.sim.now
+            for link in links:
+                link.flows.add(flow)
+            self._mark_dirty()
+
+        self.sim.timeout(delay).callbacks.append(start)
+        return done
+
+    def _setup_delay(self, src: str, dst: str) -> float:
+        """Pre-transfer delay: one-way latency + connection setup."""
+        lat = self.latency(src, dst)
+        return (lat + self.config.connection_overhead
+                + self.config.handshake_rtts * 2.0 * lat)
+
+    def transfer_time_estimate(self, src: str, dst: str, nbytes: float) -> float:
+        """Uncontended lower-bound duration of a transfer (for planning)."""
+        if src == dst or nbytes == 0:
+            return 0.0
+        links, _ = self._path(src, dst)
+        rate = min(l.capacity for l in links)
+        return self._setup_delay(src, dst) + nbytes / rate
+
+    def abort_host_flows(self, host: str) -> int:
+        """Fail every flow touching ``host`` (node death).  Returns count."""
+        victims = [f for f in self._flows if f.src == host or f.dst == host]
+        for flow in victims:
+            self._remove_flow(flow)
+            if not flow.done.triggered:
+                flow.done.fail(TransferFailed(f"endpoint {host} lost during {flow!r}"))
+                flow.done.defused()  # callers may not be listening anymore
+        if victims:
+            self._mark_dirty()
+        return len(victims)
+
+    @property
+    def active_flows(self) -> int:
+        """Number of in-flight flows (fluid phase)."""
+        return len(self._flows)
+
+    # -- fluid dynamics -----------------------------------------------------------
+    def _mark_dirty(self) -> None:
+        """Schedule a single rebalance at the current timestamp.
+
+        Batching matters: heartbeat-driven scheduling starts many flows in
+        the same instant, and one progressive-filling pass covers them all.
+        """
+        if self._rebalance_scheduled:
+            return
+        self._rebalance_scheduled = True
+
+        def do(_ev: Event) -> None:
+            self._rebalance_scheduled = False
+            self._rebalance()
+
+        self.sim.timeout(0.0).callbacks.append(do)
+
+    def _advance_progress(self) -> None:
+        """Drain bytes according to current rates up to `now`."""
+        now = self.sim.now
+        for flow in self._flows:
+            dt = now - flow._last_update
+            if dt > 0 and flow.rate > 0:
+                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+            flow._last_update = now
+
+    def _rebalance(self) -> None:
+        """Progressive filling: compute max-min fair rates, reschedule timers."""
+        self._advance_progress()
+
+        # Complete any flows that drained exactly at this instant.
+        finished = [f for f in self._flows if f.remaining <= self.EPSILON]
+        for flow in finished:
+            self._finish_flow(flow)
+
+        if not self._flows:
+            return
+
+        # Progressive filling.  Per-link sets of not-yet-frozen flows keep
+        # each round O(live links) + O(4) per frozen flow, instead of
+        # rescanning every link's flow list each round.
+        unfrozen_on: Dict[Link, Set[Flow]] = {}
+        residual: Dict[Link, float] = {}
+        for flow in self._flows:
+            for link in flow.links:
+                bucket = unfrozen_on.get(link)
+                if bucket is None:
+                    bucket = unfrozen_on[link] = set()
+                    residual[link] = link.capacity
+                bucket.add(flow)
+
+        remaining_flows = len(self._flows)
+        while remaining_flows > 0:
+            best_share = float("inf")
+            best_link: Optional[Link] = None
+            for link, bucket in unfrozen_on.items():
+                n = len(bucket)
+                if n:
+                    share = residual[link] / n
+                    if share < best_share:
+                        best_share = share
+                        best_link = link
+            if best_link is None:
+                break
+            for flow in list(unfrozen_on[best_link]):
+                flow.rate = best_share
+                self._schedule_completion(flow)
+                remaining_flows -= 1
+                for link in flow.links:
+                    residual[link] = max(0.0, residual[link] - best_share)
+                    unfrozen_on[link].discard(flow)
+
+    def _schedule_completion(self, flow: Flow) -> None:
+        flow._timer_version += 1
+        version = flow._timer_version
+        if flow.rate <= 0:
+            return  # starved; will be rescheduled on the next rebalance
+        eta = flow.remaining / flow.rate
+
+        def on_fire(_ev: Event) -> None:
+            if flow._timer_version != version or flow not in self._flows:
+                return  # stale timer: rates changed since it was set
+            self._advance_progress()
+            if flow.remaining <= self.EPSILON:
+                self._finish_flow(flow)
+                self._mark_dirty()
+            else:
+                # Rounding left a residue; run the tail down.
+                self._schedule_completion(flow)
+
+        self.sim.timeout(eta).callbacks.append(on_fire)
+
+    def _finish_flow(self, flow: Flow) -> None:
+        self._remove_flow(flow)
+        if not flow.done.triggered:
+            flow.done.succeed(flow)
+
+    def _remove_flow(self, flow: Flow) -> None:
+        self._flows.discard(flow)
+        flow._timer_version += 1
+        for link in flow.links:
+            link.flows.discard(flow)

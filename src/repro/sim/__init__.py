@@ -1,0 +1,30 @@
+"""Discrete-event simulation engine used by every substrate in the repo.
+
+Public surface:
+
+- :class:`Simulator` — the event loop and clock.
+- :class:`Event`, :class:`Timeout`, :class:`Process`, :class:`Interrupt`,
+  :class:`AnyOf`, :class:`AllOf` — event primitives.
+- :class:`RngRegistry` — reproducible named random streams.
+- :class:`StepSeries`, :class:`CounterSet`, :class:`EventLog` — measurement.
+"""
+
+from .engine import EmptySchedule, Simulator
+from .events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
+from .monitor import CounterSet, EventLog, StepSeries
+from .rng import RngRegistry
+
+__all__ = [
+    "Simulator",
+    "EmptySchedule",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "RngRegistry",
+    "StepSeries",
+    "CounterSet",
+    "EventLog",
+]

@@ -1,0 +1,135 @@
+"""The discrete-event simulation core.
+
+:class:`Simulator` owns simulated time and the event heap.  All daemons in
+the reproduction (datanodes, tasktrackers, the glidein factory, preemption
+processes, ...) are generator processes driven by one simulator instance.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(sim):
+...     yield sim.timeout(3.0)
+...     return "done at %g" % sim.now
+>>> p = sim.process(hello(sim))
+>>> sim.run()
+>>> p.value
+'done at 3'
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, List, Optional, Tuple
+
+from .events import (
+    NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Timeout,
+)
+
+__all__ = ["Simulator", "EmptySchedule"]
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event heap runs dry."""
+
+
+class Simulator:
+    """A discrete-event simulator with generator-based processes.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time (seconds).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now: float = float(start)
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._counter = count()
+        self._active_proc: Optional[Process] = None
+
+    # -- time -----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- event factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name: str = "") -> Process:
+        """Start ``generator`` as a new simulation process."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling -------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Place a triggered event on the heap ``delay`` seconds from now."""
+        heapq.heappush(self._heap, (self._now + delay, priority, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            when, _, _, event = heapq.heappop(self._heap)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap is empty or simulated time reaches ``until``.
+
+        ``until`` may also be an :class:`Event`; the run then stops as soon
+        as that event has been processed.
+        """
+        stop_event: Optional[Event] = None
+        horizon = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(f"until={horizon!r} is in the past (now={self._now!r})")
+
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                return
+            if self._heap[0][0] > horizon:
+                self._now = horizon
+                return
+            self.step()
+
+        if stop_event is not None and not stop_event.processed:
+            raise RuntimeError("simulation ran out of events before `until` fired")
+        if horizon != float("inf"):
+            self._now = horizon
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self._now:g} pending={len(self._heap)}>"

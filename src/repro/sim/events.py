@@ -1,0 +1,374 @@
+"""Core event primitives for the discrete-event simulation engine.
+
+The engine follows the classic process-interaction style (as popularised by
+SimPy): simulation *processes* are Python generators that ``yield`` events;
+the engine resumes a process when the event it is waiting on fires.
+
+Events move through three states:
+
+``PENDING``
+    Created but not yet scheduled to fire.
+``TRIGGERED``
+    Placed on the event heap with a firing time; its value is decided.
+``PROCESSED``
+    Its callbacks have run.
+
+Failures propagate: an event may *fail* with an exception, in which case
+the exception is thrown into every waiting process (unless it has been
+:meth:`Event.defused`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+__all__ = [
+    "PENDING",
+    "TRIGGERED",
+    "PROCESSED",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+]
+
+PENDING = 0
+TRIGGERED = 1
+PROCESSED = 2
+
+#: Scheduling priorities (lower fires first at equal times).
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A happening at a point in simulated time that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.engine.Simulator`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:  # noqa: F821
+        self.sim = sim
+        #: Callables invoked with this event when it is processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state: int = PENDING
+        self._defused: bool = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state >= PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if self._state < TRIGGERED:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def result(self) -> Any:
+        """The event's value; re-raises the exception if the event failed."""
+        if self._state < TRIGGERED:
+            raise RuntimeError(f"result of {self!r} is not yet available")
+        if not self._ok:
+            raise self._value
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule the event to fire successfully with ``value``."""
+        if self._state != PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule the event to fire as a failure carrying ``exception``."""
+        if self._state != PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def defused(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    # -- engine hooks --------------------------------------------------------
+    def _process(self) -> None:
+        """Run callbacks; called by the engine when the event fires."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = PROCESSED
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self._defused:
+            raise self._value
+
+    def __repr__(self) -> str:
+        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:  # noqa: F821
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        sim._schedule(self, delay)
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    @property
+    def cause(self) -> Any:
+        """The value passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class _Initialize(Event):
+    """Immediate event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process") -> None:  # noqa: F821
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self._state = TRIGGERED
+        assert self.callbacks is not None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, 0.0, priority=URGENT)
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process wraps a generator; it is itself an event that fires when the
+    generator returns (value = the generator's return value) or raises
+    (failure).  Processes may be interrupted, which raises
+    :class:`Interrupt` inside the generator at its current yield point.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator, name: str = "") -> None:  # noqa: F821
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None if not waiting).
+        self._target: Optional[Event] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is waiting on an event detaches it from that event first.
+        """
+        if self._state != PENDING:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self._target is self:
+            raise RuntimeError("a process cannot interrupt itself synchronously")
+        _Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired ``event``."""
+        self.sim._active_proc = self
+        while True:
+            if event._ok:
+                try:
+                    target = self._generator.send(event._value)
+                except StopIteration as exc:
+                    self._finish_ok(getattr(exc, "value", None))
+                    break
+                except BaseException as exc:
+                    self._finish_fail(exc)
+                    break
+            else:
+                # Throw the failure into the process; mark it defused since
+                # the process is taking responsibility for it.
+                event._defused = True
+                try:
+                    target = self._generator.throw(event._value)
+                except StopIteration as exc:
+                    self._finish_ok(getattr(exc, "value", None))
+                    break
+                except BaseException as exc:
+                    self._finish_fail(exc)
+                    break
+
+            if not isinstance(target, Event):
+                self._finish_fail(
+                    RuntimeError(f"process {self.name!r} yielded non-event {target!r}")
+                )
+                break
+            if target.sim is not self.sim:
+                self._finish_fail(
+                    RuntimeError(f"process {self.name!r} yielded a foreign event")
+                )
+                break
+            if target.callbacks is not None:
+                # Event not yet processed: register and go to sleep.
+                target.callbacks.append(self._resume)
+                self._target = target
+                break
+            # Event already processed: loop immediately with its value.
+            event = target
+
+        self.sim._active_proc = None
+
+    def _finish_ok(self, value: Any) -> None:
+        self._target = None
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.sim._schedule(self, 0.0)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self._target = None
+        self._ok = False
+        self._value = exc
+        self._state = TRIGGERED
+        self.sim._schedule(self, 0.0)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class _Interruption(Event):
+    """Internal immediate event that delivers an interrupt to a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: Process, cause: Any) -> None:
+        super().__init__(process.sim)
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self._state = TRIGGERED
+        assert self.callbacks is not None
+        self.callbacks.append(self._deliver)
+        self.sim._schedule(self, 0.0, priority=URGENT)
+
+    def _deliver(self, event: Event) -> None:
+        proc = self.process
+        if proc._state != PENDING:
+            return  # Process finished before the interrupt fired: drop it.
+        if proc._target is not None:
+            # Detach from the event the process was waiting on.
+            if proc._target.callbacks is not None:
+                try:
+                    proc._target.callbacks.remove(proc._resume)
+                except ValueError:
+                    pass
+            proc._target = None
+        proc._resume(self)
+
+
+class Condition(Event):
+    """An event that fires when ``evaluate`` is satisfied over its children.
+
+    Used through the :class:`AnyOf` / :class:`AllOf` helpers.  The value of
+    a condition is a dict mapping each *triggered* child event to its value.
+    """
+
+    __slots__ = ("_events", "_count", "_evaluate")
+
+    def __init__(
+        self,
+        sim: "Simulator",  # noqa: F821
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._count = 0
+        self._evaluate = evaluate
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise ValueError("all events of a condition must share a simulator")
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        return {ev: ev._value for ev in self._events if ev._state >= PROCESSED and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AnyOf(Condition):
+    """Fires as soon as any child event fires."""
+
+    __slots__ = ()
+
+    def __init__(self, sim, events) -> None:
+        super().__init__(sim, lambda events, count: count >= 1, events)
+
+
+class AllOf(Condition):
+    """Fires once every child event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, sim, events) -> None:
+        super().__init__(sim, lambda events, count: count >= len(events), events)

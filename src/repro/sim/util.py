@@ -1,0 +1,50 @@
+"""Small coordination helpers on top of the core engine."""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from .engine import Simulator
+from .events import Event, Process
+
+__all__ = ["gather_safe", "Outcome"]
+
+
+class Outcome:
+    """Result of one event inside :func:`gather_safe`."""
+
+    __slots__ = ("ok", "value", "error")
+
+    def __init__(self, ok: bool, value: Any = None, error: BaseException = None) -> None:
+        self.ok = ok
+        self.value = value
+        self.error = error
+
+    def __repr__(self) -> str:
+        return f"Outcome(ok={self.ok}, {'value=%r' % (self.value,) if self.ok else 'error=%r' % (self.error,)})"
+
+
+def gather_safe(sim: Simulator, events: List[Event]) -> Process:
+    """Wait for *all* events, collecting failures instead of propagating.
+
+    Unlike :class:`AllOf` — which fails fast on the first child failure —
+    this waits for every event and returns a list of :class:`Outcome` in
+    input order.  Used for fan-out operations where partial success is
+    meaningful (e.g. an HDFS write pipeline where one target dies).
+    """
+
+    def waiter(ev: Event):
+        try:
+            value = yield ev
+        except BaseException as exc:  # noqa: BLE001 - deliberate catch-all
+            return Outcome(False, error=exc)
+        return Outcome(True, value=value)
+
+    def collector():
+        procs = [sim.process(waiter(ev)) for ev in events]
+        results = []
+        for p in procs:
+            results.append((yield p))
+        return results
+
+    return sim.process(collector(), name="gather_safe")

@@ -1,0 +1,5 @@
+"""Local storage substrate (per-node disks)."""
+
+from .disk import Disk, DiskFullError, DiskIOError
+
+__all__ = ["Disk", "DiskFullError", "DiskIOError"]

@@ -1,0 +1,261 @@
+"""Per-node local disk: capacity accounting and timed, shared-bandwidth I/O.
+
+Two aspects matter for the paper:
+
+- **Capacity** — map intermediate output is kept on local disk until the
+  whole job finishes; with a slow WAN shuffle this accumulates and nodes
+  fail with out-of-disk errors (§IV-D2 "Disk Overflow").  The disk tracks
+  usage per label (``hdfs``, ``intermediate``, ...) so experiments can
+  attribute overflows.
+- **Availability** — preemption at a site deletes the job's working
+  directory; a zombie daemon's subsequent I/O fails.  The paper's fix has
+  the datanode re-check the working directory every 3 minutes by writing a
+  small file and reading it back (§IV-D1).  :meth:`Disk.wipe` and
+  :meth:`Disk.probe` model exactly this.
+
+Concurrent reads (and, separately, writes) share the channel bandwidth
+equally — a single-link special case of the fabric's max-min model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..sim.engine import Simulator
+from ..sim.events import Event
+
+__all__ = ["DiskFullError", "DiskIOError", "Disk"]
+
+
+class DiskFullError(Exception):
+    """An allocation would exceed disk capacity."""
+
+
+class DiskIOError(Exception):
+    """An I/O operation failed (working directory wiped / disk dead)."""
+
+
+class _Op:
+    """One in-flight read or write."""
+
+    __slots__ = ("remaining", "rate", "done", "_last_update", "_timer_version")
+
+    def __init__(self, nbytes: float, done: Event, now: float) -> None:
+        self.remaining = float(nbytes)
+        self.rate = 0.0
+        self.done = done
+        self._last_update = now
+        self._timer_version = 0
+
+
+class _FairChannel:
+    """Equal-share bandwidth channel for one I/O direction."""
+
+    def __init__(self, sim: Simulator, rate: float) -> None:
+        self.sim = sim
+        self.rate = float(rate)
+        self._ops: Set[_Op] = set()
+        self._rebalance_scheduled = False
+
+    def submit(self, nbytes: float) -> Event:
+        """Start an operation of ``nbytes``; event fires when drained."""
+        done = self.sim.event()
+        if nbytes <= 0:
+            done.succeed(None)
+            return done
+        op = _Op(nbytes, done, self.sim.now)
+        self._ops.add(op)
+        self._mark_dirty()
+        return done
+
+    def abort_all(self, exc: Exception) -> None:
+        """Fail every in-flight operation with ``exc`` (disk wiped)."""
+        for op in list(self._ops):
+            self._ops.discard(op)
+            op._timer_version += 1
+            if not op.done.triggered:
+                op.done.fail(exc)
+                op.done.defused()
+
+    def _mark_dirty(self) -> None:
+        if self._rebalance_scheduled:
+            return
+        self._rebalance_scheduled = True
+
+        def do(_ev: Event) -> None:
+            self._rebalance_scheduled = False
+            self._rebalance()
+
+        self.sim.timeout(0.0).callbacks.append(do)
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        for op in self._ops:
+            dt = now - op._last_update
+            if dt > 0 and op.rate > 0:
+                op.remaining = max(0.0, op.remaining - op.rate * dt)
+            op._last_update = now
+
+    #: Residual bytes below which an operation counts as drained (guards
+    #: against floating-point residue stranding a nearly-done op).
+    EPSILON = 1e-3
+
+    def _rebalance(self) -> None:
+        self._advance()
+        for op in [o for o in self._ops if o.remaining <= self.EPSILON]:
+            self._finish(op)
+        if not self._ops:
+            return
+        share = self.rate / len(self._ops)
+        for op in self._ops:
+            op.rate = share
+            self._schedule(op)
+
+    def _schedule(self, op: _Op) -> None:
+        op._timer_version += 1
+        version = op._timer_version
+
+        def on_fire(_ev: Event) -> None:
+            if op._timer_version != version or op not in self._ops:
+                return
+            self._advance()
+            if op.remaining <= self.EPSILON:
+                self._finish(op)
+                self._mark_dirty()
+            else:
+                # Rounding left a residue; run the tail down.
+                self._schedule(op)
+
+        self.sim.timeout(op.remaining / op.rate).callbacks.append(on_fire)
+
+    def _finish(self, op: _Op) -> None:
+        self._ops.discard(op)
+        op._timer_version += 1
+        if not op.done.triggered:
+            op.done.succeed(None)
+
+
+class Disk:
+    """A node-local disk with capacity accounting and timed I/O.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    host:
+        Hostname owning the disk (diagnostics only).
+    capacity:
+        Usable bytes.
+    read_rate / write_rate:
+        Sequential bandwidth in bytes/second (defaults ≈ a 2012-era
+        commodity SATA drive).
+    """
+
+    def __init__(self, sim: Simulator, host: str, capacity: float,
+                 read_rate: float = 90e6, write_rate: float = 70e6) -> None:
+        if capacity <= 0:
+            raise ValueError("disk capacity must be positive")
+        self.sim = sim
+        self.host = host
+        self.capacity = float(capacity)
+        self._usage: Dict[str, float] = {}
+        self._reads = _FairChannel(sim, read_rate)
+        self._writes = _FairChannel(sim, write_rate)
+        self._alive = True
+
+    # -- capacity --------------------------------------------------------------
+    @property
+    def used(self) -> float:
+        """Bytes currently allocated, across all labels."""
+        return sum(self._usage.values())
+
+    @property
+    def free(self) -> float:
+        """Bytes still available."""
+        return self.capacity - self.used
+
+    @property
+    def alive(self) -> bool:
+        """False after :meth:`wipe` (working directory destroyed)."""
+        return self._alive
+
+    def usage_by_label(self) -> Dict[str, float]:
+        """Snapshot of per-label usage (e.g. ``hdfs`` vs ``intermediate``)."""
+        return dict(self._usage)
+
+    def allocate(self, nbytes: float, label: str = "data") -> None:
+        """Reserve ``nbytes`` under ``label``.
+
+        Raises
+        ------
+        DiskFullError
+            If the allocation exceeds capacity — the out-of-disk failure
+            mode of §IV-D2.
+        DiskIOError
+            If the disk has been wiped.
+        """
+        if not self._alive:
+            raise DiskIOError(f"disk on {self.host} is gone")
+        if nbytes < 0:
+            raise ValueError("cannot allocate negative bytes")
+        if self.used + nbytes > self.capacity + 1e-6:
+            raise DiskFullError(
+                f"disk on {self.host}: need {nbytes:.0f}B, only {self.free:.0f}B free"
+            )
+        self._usage[label] = self._usage.get(label, 0.0) + nbytes
+
+    def release(self, nbytes: float, label: str = "data") -> None:
+        """Return ``nbytes`` previously allocated under ``label``."""
+        have = self._usage.get(label, 0.0)
+        if nbytes > have + 1e-6:
+            raise ValueError(f"releasing {nbytes}B exceeds {label!r} usage {have}B")
+        new = have - nbytes
+        if new <= 1e-9:
+            self._usage.pop(label, None)
+        else:
+            self._usage[label] = new
+
+    def release_all(self, label: str) -> float:
+        """Free everything under ``label``; returns bytes freed."""
+        return self._usage.pop(label, 0.0)
+
+    # -- timed I/O ---------------------------------------------------------------
+    def read(self, nbytes: float) -> Event:
+        """Timed sequential read; bandwidth shared with concurrent reads."""
+        if not self._alive:
+            ev = self.sim.event()
+            ev.fail(DiskIOError(f"read on wiped disk at {self.host}"))
+            return ev
+        return self._reads.submit(nbytes)
+
+    def write(self, nbytes: float) -> Event:
+        """Timed sequential write (capacity must be allocated separately)."""
+        if not self._alive:
+            ev = self.sim.event()
+            ev.fail(DiskIOError(f"write on wiped disk at {self.host}"))
+            return ev
+        return self._writes.submit(nbytes)
+
+    # -- failure model --------------------------------------------------------------
+    def wipe(self) -> None:
+        """Destroy the working directory (what a preempting site does).
+
+        All in-flight I/O fails; subsequent probes and I/O fail.
+        """
+        self._alive = False
+        self._usage.clear()
+        exc = DiskIOError(f"working directory on {self.host} was removed")
+        self._reads.abort_all(exc)
+        self._writes.abort_all(exc)
+
+    def probe(self) -> bool:
+        """The zombie self-check: write a small file and read it back.
+
+        Returns True when the disk is healthy.  (The simulated check is
+        instantaneous; its 3-minute cadence lives in the datanode.)
+        """
+        return self._alive
+
+    def __repr__(self) -> str:
+        state = "up" if self._alive else "WIPED"
+        return f"<Disk {self.host} {state} {self.used:.2e}/{self.capacity:.2e}B>"

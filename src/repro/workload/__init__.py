@@ -1,0 +1,32 @@
+"""The evaluation workload: Facebook bins (Tables I/II) and submission
+schedules."""
+
+from .facebook import (
+    FACEBOOK_BINS,
+    MEAN_INTERARRIVAL,
+    TRUNCATED_REDUCES,
+    FacebookBin,
+    benchmark_job_mix,
+    sample_interarrivals,
+    truncated_bins,
+)
+from .schedule import (
+    LoadgenParams,
+    ScheduledJob,
+    SubmissionSchedule,
+    build_facebook_schedule,
+)
+
+__all__ = [
+    "FacebookBin",
+    "FACEBOOK_BINS",
+    "TRUNCATED_REDUCES",
+    "MEAN_INTERARRIVAL",
+    "truncated_bins",
+    "benchmark_job_mix",
+    "sample_interarrivals",
+    "LoadgenParams",
+    "ScheduledJob",
+    "SubmissionSchedule",
+    "build_facebook_schedule",
+]

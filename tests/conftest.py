@@ -1,0 +1,12 @@
+"""Make tests/ importable as a flat namespace and relax hypothesis
+deadlines (simulation-heavy examples can exceed the default 200 ms on a
+loaded machine; correctness does not depend on wall time)."""
+import sys
+from pathlib import Path
+
+from hypothesis import settings
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")

@@ -1,0 +1,153 @@
+"""Shared fixtures/builders for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hdfs import Datanode, HdfsClient, HdfsConfig, Namenode, SiteAwarePolicy
+from repro.mapreduce import JobSpec, JobTracker, MRConfig, TaskTracker
+from repro.net import DnsSiteResolver, FabricConfig, NetworkFabric, NetworkTopology
+from repro.sim import Simulator
+from repro.storage import Disk
+
+
+class HdfsHarness:
+    """A small in-memory HDFS cluster for unit/integration tests."""
+
+    def __init__(self, n_nodes: int = 6, n_sites: int = 3,
+                 config: Optional[HdfsConfig] = None,
+                 disk_capacity: float = 100e9,
+                 fabric_config: Optional[FabricConfig] = None,
+                 seed: int = 7) -> None:
+        self.sim = Simulator()
+        self.topology = NetworkTopology(DnsSiteResolver())
+        self.fabric = NetworkFabric(
+            self.sim, self.topology,
+            fabric_config or FabricConfig(
+                nic_bandwidth=100e6, site_uplink_bandwidth=500e6,
+                intra_site_latency=0.0005, inter_site_latency=0.04))
+        self.config = config or HdfsConfig()
+        rng = np.random.default_rng(seed)
+        self.namenode = Namenode(
+            self.sim, self.topology,
+            SiteAwarePolicy(self.topology, rng), self.config)
+        self.namenode.start()
+        self.datanodes: Dict[str, Datanode] = {}
+        self.disk_capacity = disk_capacity
+        for i in range(n_nodes):
+            site = f"site{i % n_sites}.edu"
+            self.add_datanode(f"node{i:03d}.{site}")
+
+    def add_datanode(self, host: str) -> Datanode:
+        disk = Disk(self.sim, host, self.disk_capacity)
+        dn = Datanode(self.sim, host, disk, self.fabric, self.namenode, self.config)
+        dn.start()
+        self.datanodes[host] = dn
+        return dn
+
+    def client(self, host: Optional[str] = None) -> HdfsClient:
+        return HdfsClient(self.sim, self.namenode, self.fabric,
+                          host or "central.unl.edu")
+
+    def hosts(self) -> List[str]:
+        return sorted(self.datanodes)
+
+    def run(self, until=None) -> None:
+        self.sim.run(until=until)
+
+
+class MRHarness:
+    """A small full-stack cluster: each node runs a datanode + tasktracker
+    sharing one local disk (the HOG worker-node shape)."""
+
+    def __init__(self, n_nodes: int = 6, n_sites: int = 3,
+                 hdfs_config: Optional[HdfsConfig] = None,
+                 mr_config: Optional[MRConfig] = None,
+                 map_slots: int = 1, reduce_slots: int = 1,
+                 disk_capacity: float = 200e9,
+                 fabric_config: Optional[FabricConfig] = None,
+                 seed: int = 7) -> None:
+        self.sim = Simulator()
+        self.topology = NetworkTopology(DnsSiteResolver())
+        self.fabric = NetworkFabric(
+            self.sim, self.topology,
+            fabric_config or FabricConfig(
+                nic_bandwidth=100e6, site_uplink_bandwidth=500e6,
+                intra_site_latency=0.0005, inter_site_latency=0.04))
+        self.hdfs_config = hdfs_config or HdfsConfig()
+        self.mr_config = mr_config or MRConfig()
+        rng = np.random.default_rng(seed)
+        self.namenode = Namenode(self.sim, self.topology,
+                                 SiteAwarePolicy(self.topology, rng),
+                                 self.hdfs_config)
+        self.namenode.start()
+        self.jobtracker = JobTracker(self.sim, self.namenode, self.topology,
+                                     self.mr_config)
+        self.jobtracker.start()
+        self.map_slots = map_slots
+        self.reduce_slots = reduce_slots
+        self.disk_capacity = disk_capacity
+        self.datanodes: Dict[str, Datanode] = {}
+        self.tasktrackers: Dict[str, TaskTracker] = {}
+        self.disks: Dict[str, Disk] = {}
+        for i in range(n_nodes):
+            site = f"site{i % n_sites}.edu"
+            self.add_node(f"node{i:03d}.{site}")
+
+    def add_node(self, host: str, speed: float = 1.0) -> None:
+        disk = Disk(self.sim, host, self.disk_capacity)
+        dn = Datanode(self.sim, host, disk, self.fabric, self.namenode,
+                      self.hdfs_config)
+        dn.start()
+        tt = TaskTracker(self.sim, host, disk, self.fabric, self.namenode,
+                         self.jobtracker, self.map_slots, self.reduce_slots,
+                         speed, self.mr_config)
+        tt.start()
+        self.disks[host] = disk
+        self.datanodes[host] = dn
+        self.tasktrackers[host] = tt
+
+    def preempt_node(self, host: str, zombie: bool = False) -> None:
+        """Site preemption: kill (or zombify) both daemons on a node."""
+        if zombie:
+            self.disks[host].wipe()
+            self.datanodes[host].make_zombie()
+            self.tasktrackers[host].make_zombie()
+        else:
+            self.datanodes[host].kill()
+            self.tasktrackers[host].kill()
+
+    def client(self, host: Optional[str] = None) -> HdfsClient:
+        return HdfsClient(self.sim, self.namenode, self.fabric,
+                          host or "central.unl.edu")
+
+    def submit(self, name: str = "job", num_maps: int = 2, num_reduces: int = 1,
+               input_file: Optional[str] = None, **spec_kwargs):
+        """Preload an input file sized for ``num_maps`` blocks and submit."""
+        from repro.hdfs.config import MB
+        input_file = input_file or f"/in/{name}"
+        if not self.namenode.exists(input_file):
+            self.client().preload_file(input_file,
+                                       num_maps * self.hdfs_config.block_size)
+        spec = JobSpec(name=name, num_maps=num_maps, num_reduces=num_reduces,
+                       input_file=input_file, **spec_kwargs)
+        return self.jobtracker.submit_job(spec)
+
+    def hosts(self) -> List[str]:
+        return sorted(self.tasktrackers)
+
+    def run(self, until=None) -> None:
+        self.sim.run(until=until)
+
+    def run_to_completion(self, jobs, timeout: float = 50_000.0) -> None:
+        """Advance until all ``jobs`` are finished or ``timeout`` sim-seconds."""
+        step = 50.0
+        while self.sim.now < timeout:
+            if all(j.finish_time is not None for j in jobs):
+                return
+            self.sim.run(until=min(self.sim.now + step, timeout))
+        raise AssertionError(
+            f"jobs not finished by t={timeout}: "
+            f"{[(j.job_id, j.status) for j in jobs if j.finish_time is None]}")

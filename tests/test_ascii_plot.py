@@ -1,0 +1,56 @@
+"""Tests for the terminal figure renderer."""
+
+import numpy as np
+
+from repro.metrics import plot_series, plot_xy
+
+
+class TestPlotSeries:
+    def test_renders_grid_with_axis(self):
+        t = np.array([0.0, 10.0, 20.0])
+        v = np.array([5.0, 10.0, 2.0])
+        out = plot_series(t, v, width=40, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 10  # 8 rows + axis + xlabel
+        assert "*" in out
+        assert "t = 0s ... 20s" in out
+
+    def test_empty_series(self):
+        out = plot_series(np.array([]), np.array([]), title="T")
+        assert "empty" in out
+
+    def test_title_included(self):
+        out = plot_series(np.array([0.0]), np.array([1.0]), title="Figure 5a")
+        assert out.startswith("Figure 5a")
+
+    def test_max_value_hits_top_row(self):
+        t = np.array([0.0, 50.0, 100.0])
+        v = np.array([0.0, 100.0, 0.0])
+        out = plot_series(t, v, width=30, height=6, y_max=100.0)
+        top_data_row = out.splitlines()[0]
+        assert "*" in top_data_row
+
+    def test_constant_series_single_row(self):
+        t = np.linspace(0, 100, 10)
+        v = np.full(10, 55.0)
+        out = plot_series(t, v, width=30, height=10, y_max=55.0)
+        rows_with_stars = [l for l in out.splitlines() if "*" in l]
+        assert len(rows_with_stars) == 1
+
+
+class TestPlotXY:
+    def test_renders_points_and_hline(self):
+        out = plot_xy([40, 100, 1101], [5000, 3200, 2000], hline=3200.0)
+        assert "o" in out and "-" in out
+        assert "40" in out and "1101" in out
+
+    def test_log_axis_label(self):
+        out = plot_xy([10, 100, 1000], [3, 2, 1], logx=True)
+        assert "log10(nodes)" in out
+
+    def test_no_points(self):
+        assert "no points" in plot_xy([], [])
+
+    def test_single_point(self):
+        out = plot_xy([100], [50])
+        assert "o" in out

@@ -1,0 +1,97 @@
+"""Tests for the HDFS balancer (§IV-C)."""
+
+import pytest
+
+from repro.hdfs import Balancer, hog_config
+from repro.hdfs.config import MB
+
+from helpers import HdfsHarness
+
+
+def loaded_harness(n_loaded=3, n_empty=3, blocks=12, repl=2):
+    """A cluster where only the first ``n_loaded`` nodes hold data."""
+    h = HdfsHarness(n_nodes=n_loaded, n_sites=3,
+                    config=hog_config(replication=repl),
+                    disk_capacity=3e9)
+    client = h.client()
+    for i in range(blocks):
+        client.preload_file(f"/f{i}", 64 * MB, replication=repl)
+    # Now add empty nodes (elastic growth).
+    for i in range(n_empty):
+        h.add_datanode(f"fresh{i:02d}.site{i % 3}.edu")
+    h.run(until=h.sim.now + 5.0)
+    return h
+
+
+class TestAnalysis:
+    def test_utilization_reports_all_running_nodes(self):
+        h = loaded_harness()
+        b = Balancer(h.sim, h.namenode)
+        util = b.utilization()
+        assert len(util) == 6
+        assert all(0.0 <= u <= 1.0 for u in util.values())
+
+    def test_imbalance_detects_skew(self):
+        h = loaded_harness()
+        b = Balancer(h.sim, h.namenode, threshold=0.05)
+        assert b.imbalance() > 0.05
+
+    def test_imbalance_zero_when_empty(self):
+        h = HdfsHarness(n_nodes=4)
+        b = Balancer(h.sim, h.namenode)
+        assert b.imbalance() == 0.0
+
+    def test_invalid_threshold_rejected(self):
+        h = HdfsHarness(n_nodes=2)
+        with pytest.raises(ValueError):
+            Balancer(h.sim, h.namenode, threshold=0.0)
+
+
+class TestBalancing:
+    def test_balancer_reduces_imbalance(self):
+        h = loaded_harness()
+        b = Balancer(h.sim, h.namenode, threshold=0.05)
+        before = b.imbalance()
+        ev = b.run()
+        h.run(until=ev)
+        report = ev.value
+        assert report.moved_blocks > 0
+        assert b.imbalance() < before
+
+    def test_balancer_preserves_replica_counts(self):
+        h = loaded_harness(repl=2)
+        b = Balancer(h.sim, h.namenode, threshold=0.05)
+        ev = b.run()
+        h.run(until=ev)
+        for bid in list(h.namenode._blocks):
+            info = h.namenode.block_info(bid)
+            assert info.live_replica_count == 2
+
+    def test_balancer_never_co_locates_replicas(self):
+        h = loaded_harness(repl=2)
+        ev = Balancer(h.sim, h.namenode, threshold=0.05).run()
+        h.run(until=ev)
+        for bid in list(h.namenode._blocks):
+            info = h.namenode.block_info(bid)
+            # replicas is a set of distinct hosts by construction; check
+            # the datanodes agree (no double-stored block).
+            holders = [x for x, dn in h.datanodes.items() if dn.has_block(bid)]
+            assert sorted(holders) == sorted(info.replicas)
+
+    def test_balanced_cluster_is_noop(self):
+        h = HdfsHarness(n_nodes=4, n_sites=2, disk_capacity=3e9)
+        client = h.client()
+        for i in range(4):
+            client.preload_file(f"/f{i}", 64 * MB, replication=4)
+        b = Balancer(h.sim, h.namenode, threshold=0.10)
+        ev = b.run()
+        h.run(until=ev)
+        report = ev.value
+        assert report.converged
+        assert report.moved_blocks == 0
+
+    def test_report_repr_readable(self):
+        h = HdfsHarness(n_nodes=2)
+        ev = Balancer(h.sim, h.namenode).run()
+        h.run(until=ev)
+        assert "BalancerReport" in repr(ev.value)

@@ -1,0 +1,98 @@
+"""Tests for the dedicated cluster (Table III) and HOD baselines."""
+
+import pytest
+
+from repro.baselines import (
+    DedicatedCluster,
+    DedicatedClusterConfig,
+    HODConfig,
+    HODRunner,
+    NodeGroup,
+    table3_config,
+)
+from repro.mapreduce import JobSpec, JobStatus
+from repro.sim import Simulator
+
+
+class TestTable3Config:
+    def test_exact_paper_shape(self):
+        cfg = table3_config()
+        assert cfg.total_nodes == 30
+        assert cfg.total_map_slots == 100   # "1 map slot per core", 100 CPUs
+        assert cfg.total_reduce_slots == 30  # "1 reduce slot for each node"
+        assert cfg.groups[0].count == 20 and cfg.groups[0].map_slots == 4
+        assert cfg.groups[1].count == 10 and cfg.groups[1].map_slots == 2
+
+    def test_stock_hadoop_settings(self):
+        cfg = table3_config()
+        assert cfg.hdfs.replication == 3
+        assert cfg.hdfs.heartbeat_timeout == 15 * 60.0
+        assert cfg.mr.tracker_expiry == 600.0
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ValueError):
+            DedicatedClusterConfig(groups=[]).validate()
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(ValueError):
+            NodeGroup(count=1, map_slots=-1, reduce_slots=1).validate()
+
+
+class TestDedicatedCluster:
+    def test_single_rack(self):
+        sim = Simulator()
+        cluster = DedicatedCluster(sim)
+        sim.run(until=10.0)
+        # All workers resolve to one site ("configured as one rack").
+        sites = {cluster.topology.site_of(h) for h in cluster.tasktrackers}
+        assert len(sites) == 1
+
+    def test_all_nodes_registered(self):
+        sim = Simulator()
+        cluster = DedicatedCluster(sim)
+        sim.run(until=10.0)
+        assert cluster.namenode.num_live_datanodes() == 30
+        assert cluster.jobtracker.live_tracker_count() == 30
+
+    def test_job_completes(self):
+        sim = Simulator()
+        cluster = DedicatedCluster(sim)
+        sim.run(until=5.0)
+        cluster.preload_input("/in", n_blocks=8)
+        job = cluster.submit(JobSpec("j", 8, 4, "/in", map_cpu_per_block=5.0))
+        cluster.run_until_jobs_done([job])
+        assert job.status == JobStatus.SUCCEEDED
+
+    def test_heterogeneous_slots_in_effect(self):
+        sim = Simulator()
+        cluster = DedicatedCluster(sim)
+        slots = sorted({tt.map_slots for tt in cluster.tasktrackers.values()})
+        assert slots == [2, 4]
+
+
+class TestHOD:
+    def test_config_validation(self):
+        HODConfig().validate()
+        with pytest.raises(ValueError):
+            HODConfig(nodes_per_request=0).validate()
+
+    def test_single_job_overheads_counted(self):
+        runner = HODRunner(HODConfig(nodes_per_request=4,
+                                     allocation_delay_mean=30.0,
+                                     construction_time=60.0), seed=1)
+        res = runner.run_job(JobSpec("j", 4, 2, "/in", map_cpu_per_block=5.0))
+        assert res.job_time > 0
+        assert res.staging_time > 0          # real timed HDFS writes
+        assert res.construction_time == 60.0
+        assert res.response_time > res.job_time
+        assert 0.0 < res.overhead_fraction < 1.0
+
+    def test_reconstruction_paid_per_job(self):
+        runner = HODRunner(HODConfig(nodes_per_request=4,
+                                     construction_time=60.0), seed=2)
+        specs = [JobSpec(f"j{i}", 2, 1, "/in", map_cpu_per_block=2.0)
+                 for i in range(3)]
+        results = runner.run_schedule(specs)
+        assert len(results) == 3
+        # Every request pays the full construction time again.
+        assert all(r.construction_time == 60.0 for r in results)

@@ -1,0 +1,72 @@
+"""End-to-end reproduction of §IV-D2 "Disk Overflow".
+
+"Our replication factor and the high latency between some nodes on the
+grid caused the disk overflows.  It is also worth noting that Hadoop will
+not delete map intermediate data until the entire job is done ...  This
+leads to a buildup of intermediate map output on the worker nodes,
+causing the nodes to fail due to lack of disk space."
+"""
+
+import pytest
+
+from repro.hdfs import hog_config
+from repro.mapreduce import JobStatus, hog_mr_config
+
+from helpers import MRHarness
+
+
+def tiny_disk_harness(disk_capacity, **kw):
+    return MRHarness(n_nodes=4, n_sites=2,
+                     hdfs_config=hog_config(replication=2),
+                     mr_config=hog_mr_config(),
+                     disk_capacity=disk_capacity, **kw)
+
+
+class TestDiskOverflow:
+    def test_intermediate_buildup_causes_out_of_disk_failures(self):
+        # Disks sized so HDFS input + 4x intermediate cannot fit: map
+        # attempts must fail with out-of-disk reports.
+        h = tiny_disk_harness(disk_capacity=450e6)  # ~6.7 blocks worth
+        job = h.submit("overflow", num_maps=8, num_reduces=2,
+                       map_output_ratio=4.0, map_cpu_per_block=2.0)
+        deadline = 20_000.0
+        while h.sim.now < deadline and job.finish_time is None:
+            h.sim.run(until=h.sim.now + 50.0)
+        # At least one attempt must have died out-of-disk.
+        assert h.jobtracker.counters.get("attempts_failed") >= 1
+
+    def test_ample_disk_no_failures(self):
+        h = tiny_disk_harness(disk_capacity=50e9)
+        job = h.submit("fits", num_maps=8, num_reduces=2,
+                       map_output_ratio=4.0, map_cpu_per_block=2.0)
+        h.run_to_completion([job])
+        assert job.status == JobStatus.SUCCEEDED
+        assert h.jobtracker.counters.get("attempts_failed") == 0
+
+    def test_job_level_failure_when_disks_hopeless(self):
+        # Intermediate output alone exceeds every disk: the job must be
+        # declared failed after max_attempts, not hang.
+        h = tiny_disk_harness(disk_capacity=300e6)
+        job = h.submit("doomed", num_maps=4, num_reduces=1,
+                       map_output_ratio=50.0, map_cpu_per_block=1.0)
+        deadline = 50_000.0
+        while h.sim.now < deadline and job.finish_time is None:
+            h.sim.run(until=h.sim.now + 50.0)
+        assert job.status == JobStatus.FAILED
+        assert h.jobtracker.counters.get("jobs_failed") == 1
+
+    def test_intermediate_freed_after_job_allows_next_job(self):
+        # Two jobs that each fit alone but not together: because
+        # intermediate data is freed at job completion, the second job
+        # must succeed after the first finishes.
+        h = tiny_disk_harness(disk_capacity=1.2e9)
+        j1 = h.submit("first", num_maps=4, num_reduces=1,
+                      map_output_ratio=2.0, map_cpu_per_block=2.0)
+        h.run_to_completion([j1])
+        label = f"intermediate:j{j1.job_id}"
+        assert all(d.usage_by_label().get(label, 0.0) == 0.0
+                   for d in h.disks.values())
+        j2 = h.submit("second", num_maps=4, num_reduces=1,
+                      map_output_ratio=2.0, map_cpu_per_block=2.0)
+        h.run_to_completion([j2])
+        assert j2.status == JobStatus.SUCCEEDED

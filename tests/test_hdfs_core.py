@@ -1,0 +1,366 @@
+"""Unit and integration tests for the HDFS substrate."""
+
+import numpy as np
+import pytest
+
+from repro.hdfs import (
+    MB,
+    BlockUnavailableError,
+    HdfsConfig,
+    HdfsError,
+    RandomPolicy,
+    SiteAwarePolicy,
+    hog_config,
+    stock_hadoop_config,
+)
+from repro.net import DnsSiteResolver, NetworkTopology
+
+from helpers import HdfsHarness
+
+
+class TestConfig:
+    def test_defaults_are_stock_hadoop(self):
+        cfg = stock_hadoop_config()
+        assert cfg.replication == 3
+        assert cfg.heartbeat_timeout == 15 * 60.0
+        assert cfg.disk_check_interval is None
+        cfg.validate()
+
+    def test_hog_preset_matches_paper(self):
+        cfg = hog_config()
+        assert cfg.replication == 10          # §III-B1
+        assert cfg.heartbeat_timeout == 30.0  # §III-B
+        assert cfg.disk_check_interval == 180.0  # §IV-D1 "every 3 minutes"
+        cfg.validate()
+
+    def test_block_size_is_64mb(self):
+        assert HdfsConfig().block_size == 64 * MB
+
+    @pytest.mark.parametrize("field,value", [
+        ("block_size", 0), ("replication", 0), ("heartbeat_interval", -1),
+        ("disk_reserve_fraction", 1.5),
+    ])
+    def test_invalid_configs_rejected(self, field, value):
+        cfg = HdfsConfig()
+        setattr(cfg, field, value)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+    def test_timeout_must_exceed_interval(self):
+        cfg = HdfsConfig(heartbeat_interval=10.0, heartbeat_timeout=5.0)
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+
+class TestNamespace:
+    def test_file_split_into_blocks(self):
+        h = HdfsHarness()
+        fi = h.namenode.create_file("/data/in", 200 * MB)
+        assert len(fi.blocks) == 4
+        assert [b.size for b in fi.blocks] == [64 * MB, 64 * MB, 64 * MB, 8 * MB]
+        assert fi.size == 200 * MB
+
+    def test_exact_multiple_has_no_short_block(self):
+        h = HdfsHarness()
+        fi = h.namenode.create_file("/data/in", 128 * MB)
+        assert [b.size for b in fi.blocks] == [64 * MB, 64 * MB]
+
+    def test_duplicate_create_rejected(self):
+        h = HdfsHarness()
+        h.namenode.create_file("/f", MB)
+        with pytest.raises(HdfsError):
+            h.namenode.create_file("/f", MB)
+
+    def test_get_missing_file_raises(self):
+        h = HdfsHarness()
+        with pytest.raises(HdfsError):
+            h.namenode.get_file("/nope")
+
+    def test_delete_frees_replica_space(self):
+        h = HdfsHarness()
+        client = h.client()
+        fi = client.preload_file("/f", 64 * MB, replication=3)
+        used_before = sum(dn.disk.used for dn in h.datanodes.values())
+        assert used_before == 3 * 64 * MB
+        h.namenode.delete_file("/f")
+        assert sum(dn.disk.used for dn in h.datanodes.values()) == 0
+        assert not h.namenode.exists("/f")
+
+    def test_block_ids_unique_across_files(self):
+        h = HdfsHarness()
+        f1 = h.namenode.create_file("/a", 128 * MB)
+        f2 = h.namenode.create_file("/b", 128 * MB)
+        ids = [b.block_id for b in f1.blocks + f2.blocks]
+        assert len(set(ids)) == len(ids)
+
+
+class TestPlacement:
+    def _policy(self, seed=0):
+        topo = NetworkTopology(DnsSiteResolver())
+        return topo, SiteAwarePolicy(topo, np.random.default_rng(seed))
+
+    def test_writer_gets_first_replica(self):
+        topo, pol = self._policy()
+        hosts = [f"n{i}.s{i % 3}.edu" for i in range(9)]
+        for hh in hosts:
+            topo.add_host(hh)
+        targets = pol.choose_targets(hosts[0], 3, set(), hosts, lambda h: True)
+        assert targets[0] == hosts[0]
+        assert len(targets) == 3
+
+    def test_second_replica_different_site(self):
+        topo, pol = self._policy()
+        hosts = [f"n{i}.s{i % 3}.edu" for i in range(9)]
+        for hh in hosts:
+            topo.add_host(hh)
+        targets = pol.choose_targets(hosts[0], 3, set(), hosts, lambda h: True)
+        assert topo.site_of(targets[1]) != topo.site_of(targets[0])
+
+    def test_replicas_spread_across_sites(self):
+        topo, pol = self._policy()
+        hosts = [f"n{i}.s{i % 3}.edu" for i in range(9)]
+        for hh in hosts:
+            topo.add_host(hh)
+        targets = pol.choose_targets(hosts[0], 6, set(), hosts, lambda h: True)
+        per_site = {}
+        for t in targets:
+            per_site[topo.site_of(t)] = per_site.get(topo.site_of(t), 0) + 1
+        # 6 replicas over 3 sites must be 2 per site under even spread.
+        assert sorted(per_site.values()) == [2, 2, 2]
+
+    def test_existing_replicas_never_rechosen(self):
+        topo, pol = self._policy()
+        hosts = [f"n{i}.s{i % 3}.edu" for i in range(6)]
+        for hh in hosts:
+            topo.add_host(hh)
+        existing = {hosts[0], hosts[1]}
+        targets = pol.choose_targets(None, 2, existing, hosts, lambda h: True)
+        assert not (set(targets) & existing)
+
+    def test_space_constraint_respected(self):
+        topo, pol = self._policy()
+        hosts = [f"n{i}.s{i % 3}.edu" for i in range(6)]
+        for hh in hosts:
+            topo.add_host(hh)
+        full = {hosts[0], hosts[2]}
+        targets = pol.choose_targets(hosts[0], 4, set(), hosts,
+                                     lambda h: h not in full)
+        assert not (set(targets) & full)
+        assert len(targets) == 4
+
+    def test_fewer_candidates_than_replicas(self):
+        topo, pol = self._policy()
+        hosts = ["a.x.edu", "b.y.edu"]
+        for hh in hosts:
+            topo.add_host(hh)
+        targets = pol.choose_targets(None, 10, set(), hosts, lambda h: True)
+        assert sorted(targets) == sorted(hosts)
+
+    def test_no_candidates_returns_empty(self):
+        topo, pol = self._policy()
+        assert pol.choose_targets(None, 3, set(), [], lambda h: True) == []
+
+    def test_random_policy_count_and_exclusion(self):
+        pol = RandomPolicy(np.random.default_rng(1))
+        hosts = [f"n{i}.s.edu" for i in range(10)]
+        targets = pol.choose_targets("n0.s.edu", 4, {"n1.s.edu"}, hosts,
+                                     lambda h: True)
+        assert len(targets) == 4
+        assert targets[0] == "n0.s.edu"
+        assert "n1.s.edu" not in targets
+
+
+class TestWriteRead:
+    def test_pipeline_write_places_replication_factor(self):
+        h = HdfsHarness(n_nodes=6, n_sites=3)
+        client = h.client()
+        ev = client.write_file("/wl/in0", 64 * MB, replication=3)
+        h.run(until=ev)
+        fi = ev.value
+        info = h.namenode.block_info(fi.blocks[0].block_id)
+        assert info.live_replica_count == 3
+
+    def test_write_spreads_blocks_of_large_file(self):
+        h = HdfsHarness(n_nodes=6, n_sites=3)
+        ev = h.client().write_file("/big", 256 * MB, replication=2)
+        h.run(until=ev)
+        fi = ev.value
+        assert len(fi.blocks) == 4
+        for b in fi.blocks:
+            assert h.namenode.block_info(b.block_id).live_replica_count == 2
+
+    def test_write_with_no_datanodes_fails(self):
+        h = HdfsHarness(n_nodes=0)
+        ev = h.client().write_file("/f", MB)
+        h.run(until=ev)
+        with pytest.raises(HdfsError):
+            ev.result()
+
+    def test_read_prefers_local_replica(self):
+        h = HdfsHarness(n_nodes=6, n_sites=3)
+        client_host = h.hosts()[0]
+        client = h.client(client_host)
+        fi = client.preload_file("/f", 64 * MB, replication=6)
+        ev = client.read_block(fi.blocks[0].block_id)
+        h.run(until=ev)
+        assert ev.value.source == client_host
+        assert ev.value.distance == 0
+
+    def test_read_prefers_site_over_remote(self):
+        h = HdfsHarness(n_nodes=6, n_sites=3)
+        # Place replicas only on two specific nodes: one sharing a site
+        # with the reader, one remote.
+        fi = h.namenode.create_file("/f", 64 * MB)
+        block = fi.blocks[0]
+        same_site = "node003.site0.edu"   # same site as node000
+        remote = "node004.site1.edu"
+        h.datanodes[same_site].add_block_instant(block)
+        h.datanodes[remote].add_block_instant(block)
+        reader = h.client("node000.site0.edu")
+        ev = reader.read_block(block.block_id)
+        h.run(until=ev)
+        assert ev.value.source == same_site
+        assert ev.value.distance == 2
+
+    def test_read_missing_block_fails(self):
+        h = HdfsHarness()
+        fi = h.namenode.create_file("/f", 64 * MB)
+        ev = h.client().read_block(fi.blocks[0].block_id)
+        h.run(until=ev)
+        with pytest.raises(BlockUnavailableError):
+            ev.result()
+
+    def test_read_unknown_block_fails(self):
+        h = HdfsHarness()
+        ev = h.client().read_block(99999)
+        h.run(until=ev)
+        with pytest.raises(BlockUnavailableError):
+            ev.result()
+
+    def test_read_retries_next_replica_on_dead_node(self):
+        h = HdfsHarness(n_nodes=6, n_sites=3, config=hog_config(replication=2))
+        client = h.client()
+        fi = client.preload_file("/f", 64 * MB, replication=2)
+        block = fi.blocks[0]
+        locs = h.namenode.locate(block.block_id)
+        # Kill one replica holder abruptly; namenode does not know yet.
+        h.datanodes[locs[0]].kill()
+        reader = h.client(locs[0])  # reader co-located with the dead node
+        ev = reader.read_block(block.block_id)
+        h.run(until=ev)
+        assert ev.value.source == locs[1]
+        # The failed attempt must have been reported.
+        assert h.namenode.counters.get("bad_replica_reports") == 1
+
+
+class TestFailureDetection:
+    def test_dead_node_detected_after_hog_timeout(self):
+        h = HdfsHarness(config=hog_config())
+        victim = h.hosts()[0]
+        h.run(until=10.0)
+        h.datanodes[victim].kill()
+        h.run(until=10.0 + 30.0 + 5.0)  # timeout + recheck slack
+        assert victim not in h.namenode.live_datanode_hosts()
+        assert h.namenode.counters.get("datanodes_declared_dead") == 1
+
+    def test_stock_timeout_is_much_slower(self):
+        h = HdfsHarness(config=stock_hadoop_config())
+        victim = h.hosts()[0]
+        h.datanodes[victim].kill()
+        h.run(until=120.0)
+        # After 2 minutes, stock Hadoop still believes the node is alive.
+        assert victim in h.namenode.live_datanode_hosts()
+
+    def test_lost_blocks_rereplicated(self):
+        h = HdfsHarness(n_nodes=6, n_sites=3, config=hog_config(replication=3))
+        client = h.client()
+        fi = client.preload_file("/f", 64 * MB, replication=3)
+        block = fi.blocks[0]
+        victim = h.namenode.locate(block.block_id)[0]
+        h.datanodes[victim].kill()
+        h.run(until=300.0)
+        live = h.namenode.locate(block.block_id)
+        assert victim not in live
+        assert len(live) == 3  # repaired back to target
+        assert h.namenode.counters.get("replications_completed") >= 1
+
+    def test_rereplication_prefers_new_site_spread(self):
+        h = HdfsHarness(n_nodes=9, n_sites=3, config=hog_config(replication=3))
+        client = h.client()
+        fi = client.preload_file("/f", 64 * MB, replication=3)
+        block = fi.blocks[0]
+        victim = h.namenode.locate(block.block_id)[0]
+        h.datanodes[victim].kill()
+        h.run(until=300.0)
+        live = h.namenode.locate(block.block_id)
+        sites = {h.topology.site_of(x) for x in live}
+        assert len(sites) == 3  # replicas still span all three sites
+
+    def test_node_rejoin_reregisters(self):
+        h = HdfsHarness(config=hog_config())
+        victim = h.hosts()[0]
+        h.datanodes[victim].kill()
+        h.run(until=60.0)
+        assert victim not in h.namenode.live_datanode_hosts()
+        # The same host comes back (fresh glidein).
+        h.add_datanode(victim)
+        h.run(until=70.0)
+        assert victim in h.namenode.live_datanode_hosts()
+
+
+class TestZombie:
+    def test_zombie_without_fix_fools_namenode(self):
+        # Stock config: no disk self-check.
+        h = HdfsHarness(config=stock_hadoop_config(heartbeat_timeout=30.0,
+                                                   heartbeat_recheck_period=3.0))
+        client = h.client()
+        fi = client.preload_file("/f", 64 * MB, replication=1)
+        block = fi.blocks[0]
+        holder = h.namenode.locate(block.block_id)[0]
+        h.run(until=10.0)
+        h.datanodes[holder].make_zombie()
+        h.run(until=600.0)
+        # Ten minutes later the namenode still believes the zombie holds it.
+        assert holder in h.namenode.locate(block.block_id)
+        # ...but a real read fails over to nothing.
+        ev = h.client().read_block(block.block_id)
+        h.run(until=ev)
+        with pytest.raises(BlockUnavailableError):
+            ev.result()
+
+    def test_disk_check_shuts_down_zombie(self):
+        # HOG config: 3-minute disk self-check + 30 s heartbeat timeout.
+        h = HdfsHarness(config=hog_config())
+        victim = h.hosts()[0]
+        h.run(until=10.0)
+        h.datanodes[victim].make_zombie()
+        # Within disk_check (<=180 s) + heartbeat timeout (30 s) + slack the
+        # namenode must have declared it dead.
+        h.run(until=10.0 + 180.0 + 30.0 + 10.0)
+        assert victim not in h.namenode.live_datanode_hosts()
+        assert h.datanodes[victim].state == "dead"
+
+    def test_zombie_data_recovered_with_fix(self):
+        h = HdfsHarness(n_nodes=6, n_sites=3, config=hog_config(replication=3))
+        client = h.client()
+        fi = client.preload_file("/f", 64 * MB, replication=3)
+        block = fi.blocks[0]
+        victim = h.namenode.locate(block.block_id)[0]
+        h.datanodes[victim].make_zombie()
+        h.run(until=600.0)
+        live = h.namenode.locate(block.block_id)
+        assert victim not in live
+        assert len(live) == 3
+
+
+class TestOverReplication:
+    def test_excess_replicas_invalidated(self):
+        h = HdfsHarness(n_nodes=6, n_sites=3, config=hog_config(replication=2))
+        client = h.client()
+        fi = client.preload_file("/f", 64 * MB, replication=2)
+        block = fi.blocks[0]
+        extra = [x for x in h.hosts() if x not in h.namenode.locate(block.block_id)][0]
+        h.datanodes[extra].add_block_instant(block)
+        info = h.namenode.block_info(block.block_id)
+        assert info.live_replica_count == 2
+        assert h.namenode.counters.get("replicas_invalidated") == 1

@@ -1,0 +1,129 @@
+"""Failure-path integration tests on the assembled HOG system:
+preempt_host, zombie propagation, fabric handshakes, scheduler config."""
+
+import pytest
+
+from repro.core import HOGConfig, HOGSystem
+from repro.grid import GridSiteConfig, SitePolicy, WrapperConfig
+from repro.hdfs import hog_config
+from repro.mapreduce import MRConfig
+from repro.net import FabricConfig, NetworkFabric, NetworkTopology
+from repro.sim import Simulator
+
+
+def make_hog(target=6, zombie_fix=True, disk_check=True, seed=2):
+    policy = SitePolicy(scheduling_delay_mean=5.0)
+    cfg = HOGConfig(
+        sites=[GridSiteConfig(f"S{i}", f"site{i}.edu", 10, policy)
+               for i in range(3)],
+        hdfs=hog_config(replication=3,
+                        disk_check_interval=180.0 if disk_check else None),
+        wrapper=WrapperConfig(zombie_fix=zombie_fix),
+        negotiation_interval=10.0,
+        seed=seed,
+    )
+    sim = Simulator()
+    hog = HOGSystem(sim, cfg)
+    hog.start(target)
+    hog.run_until_nodes(target)
+    return sim, hog
+
+
+class TestPreemptHost:
+    def test_clean_preempt_updates_factory_accounting(self):
+        sim, hog = make_hog()
+        victim = next(iter(hog.nodes))
+        before = hog.running_nodes()
+        hog.preempt_host(victim)
+        assert hog.running_nodes() == before - 1
+        assert hog.factory.counters.get("glideins_preempted") == 1
+
+    def test_factory_replaces_preempted_node(self):
+        sim, hog = make_hog()
+        victim = next(iter(hog.nodes))
+        hog.preempt_host(victim)
+        hog.run_until_nodes(6, timeout=600.0)
+        assert hog.running_nodes() == 6
+
+    def test_preempt_unknown_host_raises(self):
+        sim, hog = make_hog()
+        with pytest.raises(KeyError):
+            hog.preempt_host("ghost.nowhere.edu")
+
+    def test_zombie_preempt_keeps_daemons_heartbeating(self):
+        sim, hog = make_hog(disk_check=False)
+        victim = next(iter(hog.nodes))
+        hog.preempt_host(victim, zombie=True)
+        # Factory no longer counts it...
+        assert hog.running_nodes() == 5
+        sim.run(until=sim.now + 120.0)
+        # ...but the masters still believe it alive (the §IV-D1 bug).
+        # Meanwhile the factory replaced it, so the jobtracker counts the
+        # 6 real trackers PLUS the zombie phantom — the "fluctuated above"
+        # artefact of §IV-B.
+        assert victim in hog.namenode.live_datanode_hosts()
+        assert hog.jobtracker.live_tracker_count() == hog.running_nodes() + 1
+
+    def test_zombie_with_disk_check_gets_cleaned_up(self):
+        sim, hog = make_hog(disk_check=True)
+        victim = next(iter(hog.nodes))
+        hog.preempt_host(victim, zombie=True)
+        sim.run(until=sim.now + 180.0 + 40.0)
+        assert victim not in hog.namenode.live_datanode_hosts()
+
+    def test_double_preempt_is_keyerror(self):
+        sim, hog = make_hog()
+        victim = next(iter(hog.nodes))
+        hog.preempt_host(victim)
+        with pytest.raises(KeyError):
+            hog.preempt_host(victim)
+
+
+class TestFabricHandshake:
+    def test_handshake_scales_with_latency(self):
+        sim = Simulator()
+        topo = NetworkTopology()
+        fabric = NetworkFabric(sim, topo, FabricConfig(
+            nic_bandwidth=1e9, site_uplink_bandwidth=1e9,
+            intra_site_latency=0.001, inter_site_latency=0.1,
+            handshake_rtts=5.0))
+        # Cross-site: 0.1 + 5*2*0.1 = 1.1s setup, negligible payload.
+        ev = fabric.transfer("a.x.edu", "b.y.edu", 1.0)
+        sim.run(until=ev)
+        assert sim.now == pytest.approx(1.1, abs=0.01)
+
+    def test_handshake_cheap_within_site(self):
+        sim = Simulator()
+        fabric = NetworkFabric(sim, NetworkTopology(), FabricConfig(
+            nic_bandwidth=1e9, site_uplink_bandwidth=1e9,
+            intra_site_latency=0.001, inter_site_latency=0.1,
+            handshake_rtts=5.0))
+        ev = fabric.transfer("a.x.edu", "b.x.edu", 1.0)
+        sim.run(until=ev)
+        assert sim.now == pytest.approx(0.011, abs=0.001)
+
+    def test_negative_handshake_rejected(self):
+        with pytest.raises(ValueError):
+            FabricConfig(handshake_rtts=-1).validate()
+
+
+class TestSchedulerConfig:
+    def test_named_schedulers_resolve(self):
+        for name, cls_name in [("fifo", "FifoScheduler"),
+                               ("delay", "DelayScheduler"),
+                               ("matchmaking", "MatchmakingScheduler")]:
+            cfg = MRConfig(scheduler=name)
+            cfg.validate()
+            from repro.hdfs import Namenode, SiteAwarePolicy
+            from repro.mapreduce import JobTracker
+            import numpy as np
+            sim = Simulator()
+            topo = NetworkTopology()
+            nn = Namenode(sim, topo, SiteAwarePolicy(topo,
+                                                     np.random.default_rng(0)))
+            jt = JobTracker(sim, nn, topo, cfg)
+            assert type(jt.scheduler).__name__ == cls_name
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            MRConfig(scheduler="round-robin").validate()
