@@ -173,13 +173,15 @@ class DedicatedCluster:
         return self.jobtracker.submit_job(spec)
 
     def run_until_jobs_done(self, jobs: List[Job], timeout: float = 200_000.0,
-                            step: float = 25.0) -> float:
-        """Advance simulation until every job in ``jobs`` finished."""
-        deadline = self.sim.now + timeout
-        while self.sim.now < deadline:
-            if all(j.finish_time is not None for j in jobs):
-                return self.sim.now
-            self.sim.run(until=min(self.sim.now + step, deadline))
+                            step: Optional[float] = None) -> float:
+        """Advance simulation until every job in ``jobs`` finished.
+
+        Event-driven: returns at the exact finish timestamp of the last
+        job.  ``step`` is kept for backwards compatibility and ignored."""
+        done = self.jobtracker.when_jobs_done(jobs)
+        if self.sim.run_until(done, self.sim.now + timeout):
+            return self.sim.now
+        self.jobtracker.cancel_wait(done)
         unfinished = [(j.job_id, j.status) for j in jobs if j.finish_time is None]
         raise TimeoutError(f"jobs unfinished after {timeout}s: {unfinished}")
 

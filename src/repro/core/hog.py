@@ -131,6 +131,11 @@ class HOGSystem:
         self.believed_series = StepSeries("believed_nodes", initial=0, t0=sim.now)
         self.factory.node_count_listeners.append(
             lambda n: self.node_series.record(self.sim.now, n))
+        # Change-driven believed recorder: every live-tracker-count change
+        # lands in the series at its exact timestamp, instead of being
+        # sampled on a 5 s polling grid.
+        self.jobtracker.tracker_count_listeners.append(
+            lambda n: self.believed_series.record(self.sim.now, n))
         self._sampler_started = False
 
     # -- node lifecycle hooks (called by the glidein factory) -----------------------
@@ -170,7 +175,13 @@ class HOGSystem:
         """Elastically grow or shrink the node request (§IV-C)."""
         self.factory.set_target(n)
 
-    def _believed_sampler(self, period: float = 5.0):
+    def _believed_sampler(self, period: float = 60.0):
+        """Coarse fallback recorder.
+
+        The believed series is recorded change-driven (see ``__init__``);
+        this loop only re-stamps the current value at a coarse period so
+        long quiet stretches still show up in exports.  It no longer drives
+        accuracy, so the period is 12x the old 5 s polling grid."""
         try:
             while True:
                 self.believed_series.record(
@@ -181,26 +192,34 @@ class HOGSystem:
 
     # -- run helpers ---------------------------------------------------------------------
     def run_until_nodes(self, n: int, timeout: float = 36_000.0,
-                        step: float = 5.0) -> float:
+                        step: Optional[float] = None) -> float:
         """Advance simulation until ``n`` workers are running (the paper
         waits for the target before starting the workload, §IV-A).
-        Returns the time reached; raises on timeout."""
-        deadline = self.sim.now + timeout
-        while self.sim.now < deadline:
-            if self.factory.running_count() >= n:
-                return self.sim.now
-            self.sim.run(until=min(self.sim.now + step, deadline))
+        Returns the exact time the count is reached; raises on timeout.
+
+        Event-driven: the engine jumps straight from real event to real
+        event instead of advancing on a fixed polling grid.  ``step`` is
+        kept for backwards compatibility and ignored."""
+        if self.factory.running_count() >= n:
+            return self.sim.now
+        reached = self.factory.when_running(n)
+        if self.sim.run_until(reached, self.sim.now + timeout):
+            return self.sim.now
+        self.factory.cancel_wait(reached)
         raise TimeoutError(
             f"only {self.factory.running_count()}/{n} nodes after {timeout}s")
 
     def run_until_jobs_done(self, jobs: List[Job], timeout: float = 200_000.0,
-                            step: float = 25.0) -> float:
-        """Advance simulation until every job in ``jobs`` finished."""
-        deadline = self.sim.now + timeout
-        while self.sim.now < deadline:
-            if all(j.finish_time is not None for j in jobs):
-                return self.sim.now
-            self.sim.run(until=min(self.sim.now + step, deadline))
+                            step: Optional[float] = None) -> float:
+        """Advance simulation until every job in ``jobs`` finished.
+
+        Returns the exact finish timestamp of the last job (not rounded up
+        to a polling step).  ``step`` is kept for backwards compatibility
+        and ignored."""
+        done = self.jobtracker.when_jobs_done(jobs)
+        if self.sim.run_until(done, self.sim.now + timeout):
+            return self.sim.now
+        self.jobtracker.cancel_wait(done)
         unfinished = [(j.job_id, j.status) for j in jobs if j.finish_time is None]
         raise TimeoutError(f"jobs unfinished after {timeout}s: {unfinished}")
 

@@ -69,12 +69,20 @@ class HogRunSettings:
     node: Optional[NodeConfig] = None
     site_awareness: bool = True
     n_sites: int = 5
+    #: Fraction of ``n_nodes`` that must be *simultaneously* running before
+    #: the workload starts.  1.0 reproduces the paper's strict §IV-A
+    #: protocol; under churn the running count hovers just below the target
+    #: (replacements are always in flight re-downloading the worker
+    #: package), so large-scale sweeps use e.g. 0.98 to avoid waiting
+    #: simulated hours for a churn lull.
+    ramp_fraction: float = 1.0
     #: Cap on simulated seconds for safety.
     timeout: float = 400_000.0
 
 
 def _submission_process(sim, system, schedule: SubmissionSchedule, jobs: list):
-    """Replay the schedule: sleep each exponential gap, submit."""
+    """Replay the schedule: sleep each exponential gap, submit; then wait
+    (event-driven) for every submitted job to finish."""
     last = 0.0
     for item in schedule.jobs:
         gap = item.submit_time - last
@@ -82,6 +90,20 @@ def _submission_process(sim, system, schedule: SubmissionSchedule, jobs: list):
             yield sim.timeout(gap)
         last = item.submit_time
         jobs.append((system.submit(item.spec), item.bin_id))
+    if jobs:
+        yield system.jobtracker.when_jobs_done([j for j, _ in jobs])
+
+
+def _drive_workload(sim, system, schedule: SubmissionSchedule, jobs: list,
+                    timeout: float) -> None:
+    """Run the submission replay to completion (or ``timeout`` sim-seconds).
+
+    The driver process finishes at the exact instant the last job does;
+    the engine advances straight through real events instead of polling
+    job states every 25 s."""
+    driver = sim.process(_submission_process(sim, system, schedule, jobs),
+                         name="workload-submitter")
+    sim.run_until(driver, sim.now + timeout)
 
 
 def _collect_result(system_name: str, nodes: int, jobs, start: float,
@@ -124,7 +146,8 @@ def run_facebook_on_hog(settings: HogRunSettings,
     )
     hog = HOGSystem(sim, cfg)
     hog.start(settings.n_nodes)
-    hog.run_until_nodes(settings.n_nodes, timeout=settings.timeout)
+    ramp_target = max(1, math.ceil(settings.n_nodes * settings.ramp_fraction))
+    hog.run_until_nodes(ramp_target, timeout=settings.timeout)
 
     rng = np.random.default_rng(settings.seed + 77)
     schedule = build_facebook_schedule(rng, settings.loadgen,
@@ -134,16 +157,7 @@ def run_facebook_on_hog(settings: HogRunSettings,
 
     jobs: list = []
     start = sim.now
-    sim.process(_submission_process(sim, hog, schedule, jobs),
-                name="workload-submitter")
-    deadline = start + settings.timeout
-    while sim.now < deadline:
-        if (len(jobs) == len(schedule)
-                and all(j.finish_time is not None for j, _ in jobs)):
-            break
-        sim.run(until=min(sim.now + 25.0, deadline))
-    else:
-        pass
+    _drive_workload(sim, hog, schedule, jobs, settings.timeout)
     end = sim.now
     result = _collect_result("HOG", settings.n_nodes, jobs, start, end,
                              hog.believed_series, hog.jobtracker)
@@ -171,14 +185,7 @@ def run_facebook_on_cluster(seed: int = 0, scale: float = 1.0,
 
     jobs: list = []
     start = sim.now
-    sim.process(_submission_process(sim, cluster, schedule, jobs),
-                name="workload-submitter")
-    deadline = start + timeout
-    while sim.now < deadline:
-        if (len(jobs) == len(schedule)
-                and all(j.finish_time is not None for j, _ in jobs)):
-            break
-        sim.run(until=min(sim.now + 25.0, deadline))
+    _drive_workload(sim, cluster, schedule, jobs, timeout)
     end = sim.now
     result = _collect_result(
         f"Cluster({cfg.total_map_slots} cores)", cfg.total_nodes, jobs,

@@ -242,6 +242,8 @@ class GlideinFactory:
         self.counters = CounterSet()
         #: Called with the current running-node count whenever it changes.
         self.node_count_listeners: List[Callable[[int], None]] = []
+        #: (threshold, event) pairs resolved as the count crosses them.
+        self._count_waiters: List = []
         self._started = False
         self._site_by_name: Dict[str, GridSite] = {s.name: s for s in self.sites}
 
@@ -289,6 +291,24 @@ class GlideinFactory:
             if g.hostname == hostname and g.state == Glidein.RUNNING:
                 return g
         return None
+
+    def when_running(self, n: int):
+        """An event firing the instant ``n`` workers are running.
+
+        Fires immediately if the count is already at or above ``n``; the
+        event-driven replacement for polling :meth:`running_count` on a
+        fixed time grid."""
+        ev = self.sim.event()
+        if self.running_count() >= n:
+            ev.succeed(self.sim.now)
+        else:
+            self._count_waiters.append((n, ev))
+        return ev
+
+    def cancel_wait(self, ev) -> None:
+        """Forget an unfired :meth:`when_running` event (timeout paths)."""
+        self._count_waiters = [(n, e) for n, e in self._count_waiters
+                               if e is not ev]
 
     # -- internals -------------------------------------------------------------------
     def _negotiation_loop(self):
@@ -363,6 +383,14 @@ class GlideinFactory:
 
     def _node_count_changed(self) -> None:
         count = self.running_count()
+        if self._count_waiters:
+            still_waiting = []
+            for n, ev in self._count_waiters:
+                if count >= n and not ev.triggered:
+                    ev.succeed(self.sim.now)
+                elif not ev.triggered:
+                    still_waiting.append((n, ev))
+            self._count_waiters = still_waiting
         for cb in self.node_count_listeners:
             cb(count)
 

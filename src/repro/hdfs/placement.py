@@ -77,19 +77,20 @@ class SiteAwarePolicy(PlacementPolicy):
         self.rng = rng
 
     def choose_targets(self, writer, count, existing, candidates, space_ok):
-        """Pick targets per the site-spread rules (see class docstring)."""
+        """Pick targets per the site-spread rules (see class docstring).
+
+        Capacity is probed lazily (only for hosts actually considered) and
+        random tie-breaking uses swap-pop draws instead of shuffling every
+        site's full host list — placement cost scales with the replica
+        count, not the cluster size."""
         chosen: List[str] = []
         taken: Set[str] = set(existing)
-        viable = [h for h in candidates if h not in taken and space_ok(h)]
-        if not viable:
-            return []
-
         by_site: Dict[str, List[str]] = {}
-        for h in viable:
-            by_site.setdefault(self.topology.site_of(h), []).append(h)
-        # Shuffle within each site for tie-breaking randomness.
-        for hosts in by_site.values():
-            self.rng.shuffle(hosts)
+        for h in candidates:
+            if h not in taken:
+                by_site.setdefault(self.topology.site_of(h), []).append(h)
+        if not by_site:
+            return []
 
         site_load: Dict[str, int] = {s: 0 for s in by_site}
         for h in taken:
@@ -97,29 +98,48 @@ class SiteAwarePolicy(PlacementPolicy):
             if s in site_load:
                 site_load[s] += 1
 
-        def take(host: str) -> None:
+        def drop_if_empty(site: str) -> None:
+            if not by_site[site]:
+                del by_site[site]
+                del site_load[site]
+
+        def take(host: str, site: str) -> None:
             chosen.append(host)
             taken.add(host)
-            s = self.topology.site_of(host)
-            by_site[s].remove(host)
-            if not by_site[s]:
-                del by_site[s]
-                del site_load[s]
-            else:
-                site_load[s] += 1
+            site_load[site] += 1
+            drop_if_empty(site)
+
+        def pop_random_viable(site: str) -> Optional[str]:
+            """Draw hosts from ``site`` without replacement until one has
+            room (full nodes are dropped from further consideration)."""
+            bucket = by_site[site]
+            while bucket:
+                i = int(self.rng.integers(len(bucket)))
+                host = bucket[i]
+                bucket[i] = bucket[-1]
+                bucket.pop()
+                if space_ok(host):
+                    return host
+            return None
 
         # 1. Writer-local replica.
-        if (writer is not None and len(chosen) < count and writer not in taken):
+        if writer is not None and count > 0 and writer not in taken:
             wsite = self.topology.site_of(writer)
-            if wsite in by_site and writer in by_site[wsite]:
-                take(writer)
+            bucket = by_site.get(wsite)
+            if bucket and writer in bucket and space_ok(writer):
+                bucket.remove(writer)
+                take(writer, wsite)
 
         # 2. Then always pick from the least-loaded domain (which realises
         #    "one other rack/site" for the second replica and an even
         #    spread for the rest).
         while len(chosen) < count and by_site:
             site = min(site_load, key=lambda s: (site_load[s], s))
-            take(by_site[site][0])
+            host = pop_random_viable(site)
+            if host is None:
+                drop_if_empty(site)
+                continue
+            take(host, site)
 
         return chosen
 

@@ -9,6 +9,7 @@ the ``map_output_ratio`` / ``reduce_output_ratio`` knobs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -175,7 +176,7 @@ class Job:
         "pending_map_tasks", "pending_reduce_tasks",
         "running_map_tasks", "running_reduce_tasks",
         "_n_completed_maps", "_n_completed_reduces",
-        "_dur_sum", "_dur_count",
+        "_dur_sum", "_dur_count", "_attempt_heaps",
     )
 
     def __init__(self, job_id: int, spec: JobSpec, submit_time: float) -> None:
@@ -205,6 +206,10 @@ class Job:
         self._n_completed_reduces = 0
         self._dur_sum = {TaskType.MAP: 0.0, TaskType.REDUCE: 0.0}
         self._dur_count = {TaskType.MAP: 0, TaskType.REDUCE: 0}
+        # Min-heaps of (start_time, attempt) per type, pruned lazily —
+        # lets the scheduler find the oldest still-running attempt in O(1)
+        # and skip the speculation scan when nothing can be slow enough.
+        self._attempt_heaps = {TaskType.MAP: [], TaskType.REDUCE: []}
 
     def _on_task_transition(self, task: Task, old: str, new: str) -> None:
         """Maintain the per-status sets and counters (see Task.set_status)."""
@@ -235,6 +240,22 @@ class Job:
         """Record a winning attempt's duration (speculation baseline)."""
         self._dur_sum[task_type] += duration
         self._dur_count[task_type] += 1
+
+    def note_attempt_launched(self, attempt: "TaskAttempt") -> None:
+        """Index a fresh attempt for the oldest-running-attempt query."""
+        heappush(self._attempt_heaps[attempt.task.type],
+                 (attempt.start_time, attempt.attempt_id, attempt))
+
+    def oldest_running_attempt_start(self, task_type: str) -> Optional[float]:
+        """Start time of the oldest attempt still running, or ``None``.
+
+        The answer upper-bounds every task's elapsed time, so the
+        speculation scan can be skipped entirely when even the oldest
+        attempt is younger than the slowness threshold."""
+        heap = self._attempt_heaps[task_type]
+        while heap and heap[0][2].status != TaskStatus.RUNNING:
+            heappop(heap)
+        return heap[0][0] if heap else None
 
     # -- progress -----------------------------------------------------------------
     @property

@@ -89,6 +89,16 @@ class JobTracker:
         self.counters = CounterSet()
         #: Fired with the Job whenever one finishes (success or failure).
         self.job_done_listeners: List[Callable[[Job], None]] = []
+        #: Fired with the live-tracker count whenever it changes (the
+        #: "believed" node count of Figure 5 — recorded change-driven
+        #: instead of being polled on a 5 s grid).
+        self.tracker_count_listeners: List[Callable[[int], None]] = []
+        self._live_trackers = 0
+        #: Cached active-job list; invalidated on submit and job finish.
+        #: The scheduler asks for it on every heartbeat.
+        self._active_jobs_cache: Optional[List[Job]] = None
+        #: when_jobs_done event → its job_done listener (for cancel_wait).
+        self._job_waiters: Dict[Event, Callable[[Job], None]] = {}
         self._monitor_started = False
 
     @staticmethod
@@ -129,11 +139,19 @@ class JobTracker:
             return
 
     # -- tracker protocol ------------------------------------------------------------
+    def _live_count_changed(self, delta: int) -> None:
+        self._live_trackers += delta
+        for cb in self.tracker_count_listeners:
+            cb(self._live_trackers)
+
     def register_tracker(self, tracker: TaskTracker) -> None:
         """First contact from a tasktracker; resolves its site."""
         self.topology.add_host(tracker.host)
+        old = self._trackers.get(tracker.host)
         self._trackers[tracker.host] = TrackerDescriptor(tracker, self.sim.now)
         self.counters.incr("trackers_registered")
+        if old is None or not old.alive:
+            self._live_count_changed(+1)
 
     def heartbeat(self, tracker: TaskTracker) -> None:
         """Tracker status report; schedules tasks onto its free slots."""
@@ -145,12 +163,14 @@ class JobTracker:
         if not desc.alive:
             desc.alive = True
             self.counters.incr("trackers_reregistered")
+            self._live_count_changed(+1)
         for task, speculative, locality in self.scheduler.assign(tracker):
             self._launch(task, tracker, speculative, locality)
 
     def _lost_tracker(self, desc: TrackerDescriptor) -> None:
         """Heartbeat expiry: recover the lost node's work."""
         desc.alive = False
+        self._live_count_changed(-1)
         host = desc.host
         self.counters.incr("trackers_lost")
         # 1. Re-queue attempts that were running there.  Attempts may
@@ -189,8 +209,8 @@ class JobTracker:
             task.set_status(TaskStatus.PENDING)
 
     def live_tracker_count(self) -> int:
-        """Trackers the jobtracker currently believes alive."""
-        return sum(1 for d in self._trackers.values() if d.alive)
+        """Trackers the jobtracker currently believes alive (O(1))."""
+        return self._live_trackers
 
     def tracker(self, host: str) -> TaskTracker:
         """The tracker object registered at ``host``."""
@@ -210,6 +230,7 @@ class JobTracker:
         self._next_job_id += 1
         self._jobs.append(job)
         self._input_blocks[job.job_id] = data_blocks[:spec.num_maps]
+        self._active_jobs_cache = None
         self.counters.incr("jobs_submitted")
         return job
 
@@ -222,13 +243,52 @@ class JobTracker:
         return list(self._jobs)
 
     def active_jobs(self) -> List[Job]:
-        """Jobs not yet finished, in FIFO order."""
-        return [j for j in self._jobs
+        """Jobs not yet finished, in FIFO order (cached between changes)."""
+        cache = self._active_jobs_cache
+        if cache is None:
+            cache = self._active_jobs_cache = [
+                j for j in self._jobs
                 if j.status in (JobStatus.WAITING, JobStatus.RUNNING)]
+        return cache
 
     def schedulable_jobs(self) -> List[Job]:
         """FIFO view the scheduler iterates."""
         return self.active_jobs()
+
+    def when_jobs_done(self, jobs: List[Job]) -> Event:
+        """An event firing the instant every job in ``jobs`` has finished
+        (succeeded or failed).
+
+        This is the event-driven replacement for polling job states on a
+        fixed time grid: ``sim.run_until(jt.when_jobs_done(jobs))`` stops
+        at the exact finish timestamp of the last job.  A caller that
+        abandons the wait (timeout) should pass the event to
+        :meth:`cancel_wait` so the listener is released."""
+        done = self.sim.event()
+        waiting = {j.job_id for j in jobs if j.finish_time is None}
+        if not waiting:
+            done.succeed(self.sim.now)
+            return done
+
+        def on_job_done(job: Job) -> None:
+            waiting.discard(job.job_id)
+            if not waiting and not done.triggered:
+                self.cancel_wait(done)
+                done.succeed(self.sim.now)
+
+        self.job_done_listeners.append(on_job_done)
+        self._job_waiters[done] = on_job_done
+        return done
+
+    def cancel_wait(self, event: Event) -> None:
+        """Release the listener behind an abandoned :meth:`when_jobs_done`
+        event (timeout paths).  Idempotent."""
+        listener = self._job_waiters.pop(event, None)
+        if listener is not None:
+            try:
+                self.job_done_listeners.remove(listener)
+            except ValueError:
+                pass
 
     # -- task events --------------------------------------------------------------------
     def _launch(self, task: Task, tracker: TaskTracker, speculative: bool,
@@ -239,6 +299,7 @@ class JobTracker:
             job.start_time = self.sim.now
         attempt = TaskAttempt(task, tracker, self.sim.now, speculative)
         task.attempts.append(attempt)
+        job.note_attempt_launched(attempt)
         if task.status == TaskStatus.PENDING:
             task.set_status(TaskStatus.RUNNING)
         if task.type == TaskType.MAP and not speculative:
@@ -331,12 +392,14 @@ class JobTracker:
             return
         job.status = JobStatus.SUCCEEDED
         job.finish_time = self.sim.now
+        self._active_jobs_cache = None
         self.counters.incr("jobs_succeeded")
         self._cleanup_job(job)
 
     def _fail_job(self, job: Job, reason: str) -> None:
         job.status = JobStatus.FAILED
         job.finish_time = self.sim.now
+        self._active_jobs_cache = None
         self.counters.incr("jobs_failed")
         for task in list(job.maps) + list(job.reduces):
             for attempt in task.running_attempts:
@@ -350,7 +413,9 @@ class JobTracker:
         for desc in self._trackers.values():
             if desc.tracker.is_alive:
                 desc.tracker.cleanup_job(job)
-        for listener in self.job_done_listeners:
+        # Iterate a copy: when_jobs_done listeners remove themselves on
+        # their final job, which would otherwise skip the next listener.
+        for listener in list(self.job_done_listeners):
             listener(job)
 
     def __repr__(self) -> str:

@@ -82,18 +82,21 @@ class FifoScheduler(TaskScheduler):
     def assign(self, tracker: "TaskTracker") -> List[Tuple[Task, bool, str]]:
         """One heartbeat's assignments for ``tracker`` (see base class)."""
         out: List[Tuple[Task, bool, str]] = []
+        free_maps = tracker.free_map_slots
+        free_reduces = tracker.free_reduce_slots
+        if free_maps <= 0 and free_reduces <= 0:
+            return out  # fully busy worker: nothing to decide
         jobs = self.jobtracker.schedulable_jobs()
         if not jobs:
             return out
 
-        for _ in range(min(tracker.free_map_slots, self.config.maps_per_heartbeat)):
+        for _ in range(min(free_maps, self.config.maps_per_heartbeat)):
             pick = self._pick_map(tracker, jobs, already=out)
             if pick is None:
                 break
             out.append(pick)
 
-        for _ in range(min(tracker.free_reduce_slots,
-                           self.config.reduces_per_heartbeat)):
+        for _ in range(min(free_reduces, self.config.reduces_per_heartbeat)):
             pick = self._pick_reduce(tracker, jobs, already=out)
             if pick is None:
                 break
@@ -187,6 +190,11 @@ class FifoScheduler(TaskScheduler):
         threshold = max(self.config.speculation_min_elapsed,
                         self.config.speculation_slowness_factor * avg)
         now = self.jobtracker.sim.now
+        # O(1) prune: if even the oldest running attempt is younger than
+        # the slowness threshold, no task can qualify — skip the scan.
+        oldest = job.oldest_running_attempt_start(task_type)
+        if oldest is None or now - oldest < threshold:
+            return None
         best: Optional[Task] = None
         best_elapsed = threshold
         for task in running_set:

@@ -239,20 +239,27 @@ class TaskTracker:
                 f"shuffle server on {self.host} unavailable ({self.state})"))
             done.defused()
             return done
-        self.sim.process(self._serve_map_output_proc(nbytes, dest, done),
-                         name=f"tt-serve:{self.host}")
-        return done
+        # Callback-chained (no helper process): the shuffle creates one of
+        # these per fetch, so the saved process is two fewer heap events.
+        read_ev = self.disk.read(nbytes)
+        xfer_ev = self.fabric.transfer(self.host, dest, nbytes)
+        both = self.sim.all_of([read_ev, xfer_ev])
 
-    def _serve_map_output_proc(self, nbytes: float, dest: str, done):
-        try:
-            read_ev = self.disk.read(nbytes)
-            xfer_ev = self.fabric.transfer(self.host, dest, nbytes)
-            yield self.sim.all_of([read_ev, xfer_ev])
-        except (DiskIOError, TransferFailed) as exc:
-            done.fail(TaskExecutionError(str(exc)))
-            done.defused()
-            return
-        done.succeed(None)
+        def finish(ev) -> None:
+            if done.triggered:
+                return
+            if ev._ok:
+                done.succeed(None)
+            else:
+                ev._defused = True
+                done.fail(TaskExecutionError(str(ev._value)))
+                done.defused()
+
+        if both.callbacks is None:
+            finish(both)
+        else:
+            both.callbacks.append(finish)
+        return done
 
     # -- reduce --------------------------------------------------------------------
     def _run_reduce(self, attempt: TaskAttempt):

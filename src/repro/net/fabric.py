@@ -17,10 +17,23 @@ world" (§III-B1) — which is what makes site-aware placement and scheduling
 pay off, and what makes the cross-site shuffle slow (§IV-D2).
 
 Latency is charged once per transfer, before the fluid phase.
+
+Scalability notes (what keeps 1000-node runs fast):
+
+- rebalances are *incremental*: a flow arrival/departure only re-rates the
+  connected component of flows reachable from the links it touched, so
+  link-disjoint traffic (e.g. two unrelated sites shuffling internally)
+  never pays for each other's churn;
+- flows whose fair share did not change keep their completion timer — no
+  timer storm of stale heap entries on every arrival;
+- per-host flow and pending-transfer indexes make
+  :meth:`NetworkFabric.abort_host_flows` O(flows touching the host);
+- progress is advanced lazily per flow, never by scanning all flows.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -77,13 +90,16 @@ class TransferFailed(Exception):
 class Link:
     """A capacity-constrained directed resource (NIC direction or WAN leg)."""
 
-    __slots__ = ("name", "capacity", "flows")
+    __slots__ = ("name", "capacity", "flows", "group_version")
 
     def __init__(self, name: str, capacity: float) -> None:
         self.name = name
         self.capacity = float(capacity)
         #: Flows currently traversing this link.
         self.flows: Set["Flow"] = set()
+        #: Version stamp of the link's group completion timer (see
+        #: ``NetworkFabric._rebalance`` single-bottleneck fast path).
+        self.group_version = 0
 
     def __repr__(self) -> str:
         return f"<Link {self.name} cap={self.capacity:g} flows={len(self.flows)}>"
@@ -94,7 +110,7 @@ class Flow:
 
     __slots__ = (
         "id", "src", "dst", "size", "remaining", "rate", "links",
-        "done", "_last_update", "_timer_version",
+        "done", "_last_update", "_timer_version", "_timer_at", "_fill_mark",
     )
 
     def __init__(self, fid: int, src: str, dst: str, size: float,
@@ -109,6 +125,10 @@ class Flow:
         self.done = done
         self._last_update = now
         self._timer_version = 0
+        #: Absolute sim time of the live completion timer (None when none).
+        self._timer_at: Optional[float] = None
+        #: Progressive-filling pass id this flow was last frozen in.
+        self._fill_mark = 0
 
     def __repr__(self) -> str:
         return (f"<Flow #{self.id} {self.src}->{self.dst} "
@@ -122,6 +142,14 @@ class NetworkFabric:
     #: floating-point residue stranding a nearly-done flow).
     EPSILON = 1e-3
 
+    #: How long a starved flow (rate pinned to zero by a degenerate
+    #: progressive-filling pass) waits before forcing another rebalance.
+    STARVATION_RETRY = 1.0
+
+    #: Path-cache entries before a wholesale reset (guards memory on huge
+    #: all-to-all shuffles; entries are cheap to recompute).
+    _PATH_CACHE_LIMIT = 131072
+
     def __init__(self, sim: Simulator, topology: NetworkTopology,
                  config: Optional[FabricConfig] = None) -> None:
         config = config or FabricConfig()
@@ -134,12 +162,27 @@ class NetworkFabric:
         self._site_tx: Dict[str, Link] = {}
         self._site_rx: Dict[str, Link] = {}
         self._flows: Set[Flow] = set()
+        #: host → flows in the fluid phase touching it (src or dst).
+        self._flows_by_host: Dict[str, Set[Flow]] = {}
+        #: host → transfers still in their latency/handshake setup phase.
+        self._pending_by_host: Dict[str, Set[Flow]] = {}
+        #: Links whose flow set changed since the last rebalance; the next
+        #: pass only re-rates the flow component reachable from these.
+        self._dirty_links: Set[Link] = set()
+        #: (src, dst) → (links, same_site) memo.
+        self._path_cache: Dict[Tuple[str, str], Tuple[List[Link], bool]] = {}
         self._flow_counter = 0
         self._rebalance_scheduled = False
         #: Total bytes ever delivered, by (same-site?) class — used by tests
         #: and locality accounting.
         self.bytes_intra_site = 0.0
         self.bytes_inter_site = 0.0
+        #: Highwater mark of concurrent fluid-phase flows (benchmarks).
+        self.peak_flows = 0
+        #: Progressive-filling passes executed (benchmarks / perf tests).
+        self.rebalances = 0
+        #: Times the zero-rate starvation guard had to rescue a flow.
+        self.starvation_rescues = 0
 
     # -- link management -----------------------------------------------------
     def _nic(self, host: str, direction: str) -> Link:
@@ -159,13 +202,25 @@ class NetworkFabric:
         return link
 
     def _path(self, src: str, dst: str) -> Tuple[List[Link], bool]:
-        """Links for a src→dst flow and whether it stays inside one site."""
+        """Links for a src→dst flow and whether it stays inside one site.
+
+        Memoised: topology site assignments are resolve-once, so a host
+        pair's path never changes and repeated transfers (shuffle fetches,
+        block reads) skip the topology lookups entirely.
+        """
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
         same = self.topology.same_site(src, dst)
         links = [self._nic(src, "tx")]
         if not same:
             links.append(self._wan(self.topology.site_of(src), "tx"))
             links.append(self._wan(self.topology.site_of(dst), "rx"))
         links.append(self._nic(dst, "rx"))
+        if len(self._path_cache) >= self._PATH_CACHE_LIMIT:
+            self._path_cache.clear()
+        self._path_cache[key] = (links, same)
         return links, same
 
     # -- public API ------------------------------------------------------------
@@ -201,18 +256,38 @@ class NetworkFabric:
         self._flow_counter += 1
         flow = Flow(self._flow_counter, src, dst, nbytes, links, done, self.sim.now)
         delay = self._setup_delay(src, dst)
+        # Index the setup-phase transfer so endpoint death during the
+        # latency/handshake window aborts it instead of letting it start
+        # and "deliver" bytes to a dead host.
+        self._pending_by_host.setdefault(src, set()).add(flow)
+        self._pending_by_host.setdefault(dst, set()).add(flow)
 
         def start(_ev: Event) -> None:
+            self._unindex_pending(flow)
             if done.triggered:  # aborted during the latency phase
                 return
             self._flows.add(flow)
+            nflows = len(self._flows)
+            if nflows > self.peak_flows:
+                self.peak_flows = nflows
+            self._flows_by_host.setdefault(src, set()).add(flow)
+            self._flows_by_host.setdefault(dst, set()).add(flow)
             flow._last_update = self.sim.now
             for link in links:
                 link.flows.add(flow)
+            self._dirty_links.update(links)
             self._mark_dirty()
 
         self.sim.timeout(delay).callbacks.append(start)
         return done
+
+    def _unindex_pending(self, flow: Flow) -> None:
+        for host in (flow.src, flow.dst):
+            bucket = self._pending_by_host.get(host)
+            if bucket is not None:
+                bucket.discard(flow)
+                if not bucket:
+                    del self._pending_by_host[host]
 
     def _setup_delay(self, src: str, dst: str) -> float:
         """Pre-transfer delay: one-way latency + connection setup."""
@@ -229,16 +304,23 @@ class NetworkFabric:
         return self._setup_delay(src, dst) + nbytes / rate
 
     def abort_host_flows(self, host: str) -> int:
-        """Fail every flow touching ``host`` (node death).  Returns count."""
-        victims = [f for f in self._flows if f.src == host or f.dst == host]
+        """Fail every transfer touching ``host`` (node death): flows in the
+        fluid phase *and* transfers still in their setup delay.  Returns the
+        number of aborted transfers."""
+        victims = list(self._flows_by_host.get(host, ()))
         for flow in victims:
             self._remove_flow(flow)
             if not flow.done.triggered:
                 flow.done.fail(TransferFailed(f"endpoint {host} lost during {flow!r}"))
                 flow.done.defused()  # callers may not be listening anymore
-        if victims:
-            self._mark_dirty()
-        return len(victims)
+        pending = list(self._pending_by_host.get(host, ()))
+        for flow in pending:
+            self._unindex_pending(flow)
+            if not flow.done.triggered:
+                flow.done.fail(TransferFailed(
+                    f"endpoint {host} lost while setting up {flow!r}"))
+                flow.done.defused()
+        return len(victims) + len(pending)
 
     @property
     def active_flows(self) -> int:
@@ -262,88 +344,252 @@ class NetworkFabric:
 
         self.sim.timeout(0.0).callbacks.append(do)
 
-    def _advance_progress(self) -> None:
-        """Drain bytes according to current rates up to `now`."""
-        now = self.sim.now
-        for flow in self._flows:
-            dt = now - flow._last_update
-            if dt > 0 and flow.rate > 0:
-                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
-            flow._last_update = now
+    @staticmethod
+    def _advance_flow(flow: Flow, now: float) -> None:
+        """Drain one flow's bytes according to its current rate up to `now`."""
+        dt = now - flow._last_update
+        if dt > 0 and flow.rate > 0:
+            flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+        flow._last_update = now
 
     def _rebalance(self) -> None:
-        """Progressive filling: compute max-min fair rates, reschedule timers."""
-        self._advance_progress()
+        """Progressive filling over the affected component only: compute
+        max-min fair rates, rescheduling timers just for flows whose rate
+        actually changed.
 
-        # Complete any flows that drained exactly at this instant.
-        finished = [f for f in self._flows if f.remaining <= self.EPSILON]
-        for flow in finished:
-            self._finish_flow(flow)
+        The component walk (connected flows over shared links, seeded from
+        the dirty links) is fused with progress advancement: each flow is
+        drained up to `now` the moment the walk discovers it.  Link-disjoint
+        flow sets are skipped entirely — their max-min rates are unaffected
+        by the change, and their completion timers stay valid."""
+        if not self._dirty_links:
+            return
+        self.rebalances += 1
+        now = self.sim.now
+        eps = self.EPSILON
 
-        if not self._flows:
+        affected: Set[Flow] = set()
+        links_seen: Set[Link] = set(self._dirty_links)
+        links = list(links_seen)
+        drained: List[Flow] = []
+        frontier: List[Flow] = []
+        extend = frontier.extend
+        pop = frontier.pop
+        add_flow = affected.add
+        add_link = links_seen.add
+        push_link = links.append
+        for link in links:
+            extend(link.flows)
+        while frontier:
+            flow = pop()
+            if flow in affected:
+                continue
+            add_flow(flow)
+            dt = now - flow._last_update
+            if dt > 0.0 and flow.rate > 0.0:
+                rem = flow.remaining - flow.rate * dt
+                flow.remaining = rem if rem > 0.0 else 0.0
+            flow._last_update = now
+            if flow.remaining <= eps:
+                drained.append(flow)
+            for link in flow.links:
+                if link not in links_seen:
+                    add_link(link)
+                    push_link(link)
+                    extend(link.flows)
+        self._dirty_links.clear()
+
+        # Complete any flows that drained exactly at this instant.  Their
+        # links stay in scope (co-flows are already in `affected`), so the
+        # freed capacity is redistributed by this same pass.
+        for flow in drained:
+            affected.discard(flow)
+            self._remove_flow(flow, requeue=False)
+            if not flow.done.triggered:
+                flow.done.succeed(flow)
+
+        if not affected:
             return
 
-        # Progressive filling.  Per-link sets of not-yet-frozen flows keep
-        # each round O(live links) + O(4) per frozen flow, instead of
-        # rescanning every link's flow list each round.
-        unfrozen_on: Dict[Link, Set[Flow]] = {}
-        residual: Dict[Link, float] = {}
-        for flow in self._flows:
-            for link in flow.links:
-                bucket = unfrozen_on.get(link)
-                if bucket is None:
-                    bucket = unfrozen_on[link] = set()
-                    residual[link] = link.capacity
-                bucket.add(flow)
+        # Every flow on a component link is in `affected` (closure), so the
+        # per-link unfrozen count is just the link's live flow count — no
+        # per-flow build loop needed.
+        ucount: Dict[Link, int] = {}
+        heap = []
+        seq = 0
+        for link in links:
+            n = len(link.flows)
+            if n:
+                ucount[link] = n
+                heap.append((link.capacity / n, seq, link))
+                seq += 1
 
-        remaining_flows = len(self._flows)
-        while remaining_flows > 0:
-            best_share = float("inf")
-            best_link: Optional[Link] = None
-            for link, bucket in unfrozen_on.items():
-                n = len(bucket)
-                if n:
-                    share = residual[link] / n
-                    if share < best_share:
-                        best_share = share
-                        best_link = link
-            if best_link is None:
-                break
-            for flow in list(unfrozen_on[best_link]):
+        # Single-bottleneck fast path: when the minimum-share link carries
+        # *every* component flow, round one of progressive filling freezes
+        # the whole component at that share.  Arm ONE group timer on the
+        # link (aimed at the earliest finish) instead of per-flow timers —
+        # this is what keeps a 1000-flow flood through one NIC (the glidein
+        # package downloads, reducer fan-in) at O(1) timers per change
+        # instead of O(flows).
+        best_share, _, best_link = min(heap)
+        if ucount[best_link] == len(affected):
+            min_remaining = float("inf")
+            for flow in affected:
                 flow.rate = best_share
-                self._schedule_completion(flow)
+                if flow.remaining < min_remaining:
+                    min_remaining = flow.remaining
+            self._arm_group_timer(best_link, min_remaining / best_share)
+            return
+
+        # Progressive filling.  Per-link residual capacity and unfrozen
+        # counts (no per-pass flow sets — freezing is recorded by stamping
+        # the flow with this pass's id) plus a lazy min-heap of
+        # (fair share, link) candidates.  Heap entries self-validate on
+        # pop: shares only grow as competitors freeze, so a stale entry is
+        # re-pushed with its recomputed share.
+        pid = self.rebalances  # this pass's fill-mark stamp
+        residual: Dict[Link, float] = {link: link.capacity for link in ucount}
+        heapq.heapify(heap)
+
+        remaining_flows = len(affected)
+        while remaining_flows > 0 and heap:
+            share, _, link = heapq.heappop(heap)
+            n = ucount[link]
+            if n == 0:
+                continue  # all this link's flows froze via other links
+            cur = residual[link] / n
+            if cur > share:
+                heapq.heappush(heap, (cur, seq, link))
+                seq += 1
+                continue  # stale entry: competitors froze since the push
+            if cur <= 0.0:
+                # Degenerate residual (floating-point underflow after many
+                # freeze rounds).  A zero rate would strand the flow with
+                # no completion timer; fall back to an exactly recomputed
+                # residual, or a plain fair split of the link (the
+                # oversubscription is bounded by the rounding residue).
+                frozen_sum = 0.0
+                unfrozen = 0
+                for f in link.flows:
+                    if f._fill_mark == pid:
+                        frozen_sum += f.rate
+                    else:
+                        unfrozen += 1
+                exact = link.capacity - frozen_sum
+                if exact > 0.0:
+                    cur = exact / unfrozen
+                else:
+                    cur = link.capacity / len(link.flows)
+                self.starvation_rescues += unfrozen
+            best_share = cur
+            for flow in link.flows:
+                if flow._fill_mark == pid:
+                    continue
+                flow._fill_mark = pid
+                flow.rate = best_share
+                # Keep-aware re-arm: a live timer firing at or before the
+                # new completion time re-aims itself; only a flow that
+                # would otherwise finish late needs a fresh timer.
+                armed = flow._timer_at
+                if armed is None or armed > now + flow.remaining / best_share:
+                    self._schedule_completion(flow)
                 remaining_flows -= 1
-                for link in flow.links:
-                    residual[link] = max(0.0, residual[link] - best_share)
-                    unfrozen_on[link].discard(flow)
+                for l2 in flow.links:
+                    r = residual[l2] - best_share
+                    residual[l2] = r if r > 0.0 else 0.0
+                    ucount[l2] -= 1
+
+    def _arm_group_timer(self, link: Link, eta: float) -> None:
+        """One timer for a whole single-bottleneck flow group.
+
+        Fires at the group's earliest completion and simply marks the link
+        dirty: the resulting pass drains whatever finished, re-rates the
+        survivors, and re-arms.  The cascade finishes every flow at its
+        exact completion instant with one timer per change instead of one
+        per flow."""
+        link.group_version += 1
+        version = link.group_version
+
+        def on_fire(_ev: Event) -> None:
+            if link.group_version != version or not link.flows:
+                return
+            self._dirty_links.add(link)
+            self._mark_dirty()
+
+        self.sim.timeout(eta if eta > 0.0 else 0.0).callbacks.append(on_fire)
 
     def _schedule_completion(self, flow: Flow) -> None:
-        flow._timer_version += 1
-        version = flow._timer_version
         if flow.rate <= 0:
-            return  # starved; will be rescheduled on the next rebalance
-        eta = flow.remaining / flow.rate
+            # Starved.  Waiting for "the next rebalance" is not enough — if
+            # no other flow ever arrives or departs there is none, and the
+            # transfer (and anyone waiting on it) hangs forever.  Force a
+            # retry pass; the filling guard above then assigns a real rate.
+            flow._timer_version += 1
+            flow._timer_at = None
+            version = flow._timer_version
+
+            def retry(_ev: Event) -> None:
+                if flow._timer_version != version or flow not in self._flows:
+                    return
+                if flow.rate > 0:
+                    return
+                self._dirty_links.update(flow.links)
+                self._mark_dirty()
+
+            self.sim.timeout(self.STARVATION_RETRY).callbacks.append(retry)
+            return
+
+        now = self.sim.now
+        fire_at = now + flow.remaining / flow.rate
+        armed = flow._timer_at
+        if armed is not None and armed <= fire_at:
+            # The live timer fires at or before the new completion time; it
+            # re-checks and re-aims on firing.  Slowing down (competitors
+            # arrived) therefore never allocates a new timer — only a
+            # speed-up (earlier finish) does.
+            return
+        flow._timer_version += 1
+        flow._timer_at = fire_at
+        version = flow._timer_version
 
         def on_fire(_ev: Event) -> None:
             if flow._timer_version != version or flow not in self._flows:
                 return  # stale timer: rates changed since it was set
-            self._advance_progress()
+            flow._timer_at = None
+            self._advance_flow(flow, self.sim.now)
             if flow.remaining <= self.EPSILON:
                 self._finish_flow(flow)
-                self._mark_dirty()
             else:
-                # Rounding left a residue; run the tail down.
+                # Fired early (rate dropped meanwhile) or rounding left a
+                # residue; aim again at the updated completion time.
                 self._schedule_completion(flow)
 
-        self.sim.timeout(eta).callbacks.append(on_fire)
+        self.sim.timeout(fire_at - now).callbacks.append(on_fire)
 
     def _finish_flow(self, flow: Flow) -> None:
         self._remove_flow(flow)
         if not flow.done.triggered:
             flow.done.succeed(flow)
 
-    def _remove_flow(self, flow: Flow) -> None:
+    def _remove_flow(self, flow: Flow, requeue: bool = True) -> None:
+        """Drop a flow from every index.  ``requeue`` marks its links dirty
+        and schedules a pass so survivors can claim the freed capacity (off
+        only when called from inside a rebalance, which already has the
+        links in scope)."""
         self._flows.discard(flow)
+        for host in (flow.src, flow.dst):
+            bucket = self._flows_by_host.get(host)
+            if bucket is not None:
+                bucket.discard(flow)
+                if not bucket:
+                    del self._flows_by_host[host]
         flow._timer_version += 1
         for link in flow.links:
             link.flows.discard(flow)
+        if requeue:
+            # Only links that still carry traffic can redistribute the
+            # freed capacity; a departure from empty links needs no pass.
+            dirty = [link for link in flow.links if link.flows]
+            if dirty:
+                self._dirty_links.update(dirty)
+                self._mark_dirty()

@@ -76,10 +76,18 @@ class NetworkTopology:
     discovered by the namenode and the jobtracker").
     """
 
+    #: Pair-cache entries before a wholesale reset (bounds memory on huge
+    #: all-to-all communication patterns).
+    _PAIR_CACHE_LIMIT = 262144
+
     def __init__(self, resolver: Optional[SiteResolver] = None) -> None:
         self._resolver = resolver or DnsSiteResolver()
         self._site_of: Dict[str, str] = {}
         self._members: Dict[str, List[str]] = {}
+        #: (a, b) → same-site? memo; the locality test is the hottest
+        #: lookup in the system (placement, scheduling, and every fabric
+        #: path computation go through it).
+        self._same_site_cache: Dict[tuple, bool] = {}
         self._resolutions = 0
 
     @property
@@ -104,6 +112,8 @@ class NetworkTopology:
             self._members[site].remove(hostname)
             if not self._members[site]:
                 del self._members[site]
+            # A stateful resolver could re-classify the host on re-add.
+            self._same_site_cache.clear()
 
     def site_of(self, hostname: str) -> str:
         """Site of a registered host (registers it if unknown)."""
@@ -115,8 +125,15 @@ class NetworkTopology:
 
     def same_site(self, a: str, b: str) -> bool:
         """True if two hosts share a site (the locality test used by both
-        block placement and map-task scheduling)."""
-        return self.site_of(a) == self.site_of(b)
+        block placement and map-task scheduling).  Memoised per pair."""
+        key = (a, b)
+        hit = self._same_site_cache.get(key)
+        if hit is None:
+            hit = self.site_of(a) == self.site_of(b)
+            if len(self._same_site_cache) >= self._PAIR_CACHE_LIMIT:
+                self._same_site_cache.clear()
+            self._same_site_cache[key] = hit
+        return hit
 
     def sites(self) -> List[str]:
         """All sites with at least one registered host."""

@@ -146,11 +146,15 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:  # noqa: F821
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Timeouts are the hottest allocation in the simulation; the base
+        # initialiser is inlined to save a call per event.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._state = TRIGGERED
+        self._defused = False
+        self.delay = delay
         sim._schedule(self, delay)
 
 

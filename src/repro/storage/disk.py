@@ -19,6 +19,7 @@ equally — a single-link special case of the fabric's max-min model.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, Optional, Set
 
 from ..sim.engine import Simulator
@@ -38,24 +39,42 @@ class DiskIOError(Exception):
 class _Op:
     """One in-flight read or write."""
 
-    __slots__ = ("remaining", "rate", "done", "_last_update", "_timer_version")
+    __slots__ = ("key", "done")
 
-    def __init__(self, nbytes: float, done: Event, now: float) -> None:
-        self.remaining = float(nbytes)
-        self.rate = 0.0
+    def __init__(self, key: float, done: Event) -> None:
+        #: Channel virtual-clock reading at which this op is fully drained.
+        self.key = key
         self.done = done
-        self._last_update = now
-        self._timer_version = 0
 
 
 class _FairChannel:
-    """Equal-share bandwidth channel for one I/O direction."""
+    """Equal-share bandwidth channel for one I/O direction.
+
+    Because every in-flight op drains at the *same* rate, completion order
+    is fixed at submit time.  The channel therefore runs a virtual clock —
+    cumulative bytes drained per op — and keeps ops in a heap keyed by the
+    clock reading at which each finishes.  One armed timer per channel
+    replaces the per-op timer storm: a membership change just re-aims the
+    single wake-up instead of rescheduling every op.
+    """
+
+    #: Residual bytes below which an operation counts as drained (guards
+    #: against floating-point residue stranding a nearly-done op).
+    EPSILON = 1e-3
 
     def __init__(self, sim: Simulator, rate: float) -> None:
         self.sim = sim
         self.rate = float(rate)
         self._ops: Set[_Op] = set()
-        self._rebalance_scheduled = False
+        #: (finish_key, seq, op) min-heap; entries for aborted ops linger
+        #: until popped (lazy deletion).
+        self._heap: list = []
+        self._seq = 0
+        #: Bytes drained per op since the channel was created.
+        self._drained = 0.0
+        self._clock_at = sim.now
+        #: Absolute sim time of the armed wake-up (None when idle).
+        self._armed_at: Optional[float] = None
 
     def submit(self, nbytes: float) -> Event:
         """Start an operation of ``nbytes``; event fires when drained."""
@@ -63,76 +82,70 @@ class _FairChannel:
         if nbytes <= 0:
             done.succeed(None)
             return done
-        op = _Op(nbytes, done, self.sim.now)
+        self._advance_clock()
+        op = _Op(self._drained + float(nbytes), done)
         self._ops.add(op)
-        self._mark_dirty()
+        self._seq += 1
+        heapq.heappush(self._heap, (op.key, self._seq, op))
+        self._rearm()
         return done
 
     def abort_all(self, exc: Exception) -> None:
         """Fail every in-flight operation with ``exc`` (disk wiped)."""
+        self._advance_clock()
         for op in list(self._ops):
             self._ops.discard(op)
-            op._timer_version += 1
             if not op.done.triggered:
                 op.done.fail(exc)
                 op.done.defused()
+        self._heap.clear()
 
-    def _mark_dirty(self) -> None:
-        if self._rebalance_scheduled:
-            return
-        self._rebalance_scheduled = True
-
-        def do(_ev: Event) -> None:
-            self._rebalance_scheduled = False
-            self._rebalance()
-
-        self.sim.timeout(0.0).callbacks.append(do)
-
-    def _advance(self) -> None:
+    def _advance_clock(self) -> None:
+        """Bring the per-op drained total up to `now`."""
         now = self.sim.now
-        for op in self._ops:
-            dt = now - op._last_update
-            if dt > 0 and op.rate > 0:
-                op.remaining = max(0.0, op.remaining - op.rate * dt)
-            op._last_update = now
+        if self._ops and now > self._clock_at:
+            self._drained += self.rate / len(self._ops) * (now - self._clock_at)
+        self._clock_at = now
 
-    #: Residual bytes below which an operation counts as drained (guards
-    #: against floating-point residue stranding a nearly-done op).
-    EPSILON = 1e-3
+    def _drain_finished(self) -> None:
+        """Complete every op whose finish key the clock has reached."""
+        heap = self._heap
+        while heap and heap[0][0] <= self._drained + self.EPSILON:
+            op = heapq.heappop(heap)[2]
+            if op not in self._ops:
+                continue  # aborted; lazy-deleted entry
+            self._ops.discard(op)
+            if not op.done.triggered:
+                op.done.succeed(None)
 
-    def _rebalance(self) -> None:
-        self._advance()
-        for op in [o for o in self._ops if o.remaining <= self.EPSILON]:
-            self._finish(op)
-        if not self._ops:
+    def _rearm(self) -> None:
+        """Aim the channel's single wake-up at the earliest possible finish.
+
+        A wake-up that fires early (ops joined meanwhile, shares shrank) is
+        harmless: it re-checks and re-aims.  Only when the earliest finish
+        moved *earlier* than the armed time is a new timer needed."""
+        while self._heap and self._heap[0][2] not in self._ops:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            self._armed_at = None
             return
-        share = self.rate / len(self._ops)
-        for op in self._ops:
-            op.rate = share
-            self._schedule(op)
+        eta = max(0.0, (self._heap[0][0] - self._drained)
+                  * len(self._ops) / self.rate)
+        fire_at = self.sim.now + eta
+        if self._armed_at is not None and self._armed_at <= fire_at:
+            return  # the armed wake-up fires first and will re-aim
 
-    def _schedule(self, op: _Op) -> None:
-        op._timer_version += 1
-        version = op._timer_version
+        self._armed_at = fire_at
 
         def on_fire(_ev: Event) -> None:
-            if op._timer_version != version or op not in self._ops:
-                return
-            self._advance()
-            if op.remaining <= self.EPSILON:
-                self._finish(op)
-                self._mark_dirty()
-            else:
-                # Rounding left a residue; run the tail down.
-                self._schedule(op)
+            if self._armed_at != fire_at:
+                return  # superseded by an earlier wake-up
+            self._armed_at = None
+            self._advance_clock()
+            self._drain_finished()
+            self._rearm()
 
-        self.sim.timeout(op.remaining / op.rate).callbacks.append(on_fire)
-
-    def _finish(self, op: _Op) -> None:
-        self._ops.discard(op)
-        op._timer_version += 1
-        if not op.done.triggered:
-            op.done.succeed(None)
+        self.sim.timeout(eta).callbacks.append(on_fire)
 
 
 class Disk:

@@ -22,6 +22,7 @@ __all__ = [
     "TRUNCATED_REDUCES",
     "truncated_bins",
     "benchmark_job_mix",
+    "sample_interarrivals",
     "MEAN_INTERARRIVAL",
 ]
 

@@ -143,11 +143,10 @@ class MRHarness:
 
     def run_to_completion(self, jobs, timeout: float = 50_000.0) -> None:
         """Advance until all ``jobs`` are finished or ``timeout`` sim-seconds."""
-        step = 50.0
-        while self.sim.now < timeout:
-            if all(j.finish_time is not None for j in jobs):
-                return
-            self.sim.run(until=min(self.sim.now + step, timeout))
+        done = self.jobtracker.when_jobs_done(jobs)
+        if self.sim.run_until(done, timeout):
+            return
+        self.jobtracker.cancel_wait(done)
         raise AssertionError(
             f"jobs not finished by t={timeout}: "
             f"{[(j.job_id, j.status) for j in jobs if j.finish_time is None]}")

@@ -1,0 +1,150 @@
+"""Tests for the event-driven run helpers.
+
+The polling implementations advanced simulated time on a fixed 5 s / 25 s
+grid, so ``run_until_*`` returned times rounded *up* to the next step.  The
+event-driven versions stop the engine at the exact simulated instant the
+condition becomes true.
+"""
+
+import pytest
+
+from repro.core import HOGConfig, HOGSystem
+from repro.grid import GridSiteConfig, SitePolicy
+from repro.mapreduce import JobSpec, JobStatus
+from repro.sim import Simulator
+
+
+def make_hog(target=6, n_sites=3, capacity=20, seed=1):
+    policy = SitePolicy(preempt_rate=0.0, burst_rate=0.0,
+                        scheduling_delay_mean=5.0)
+    sites = [GridSiteConfig(f"SITE{i}", f"site{i}.edu", capacity, policy)
+             for i in range(n_sites)]
+    sim = Simulator()
+    hog = HOGSystem(sim, HOGConfig(sites=sites, seed=seed,
+                                   negotiation_interval=10.0))
+    hog.start(target)
+    return sim, hog
+
+
+class TestRunUntilNodes:
+    def test_fires_exactly_when_count_reached(self):
+        sim, hog = make_hog(target=5)
+        t = hog.run_until_nodes(5)
+        assert hog.running_nodes() >= 5
+        # The node series records every count change at its exact
+        # timestamp; the helper must return the first instant the series
+        # reached 5 — not a 5 s polling-grid point at or after it.
+        times, values = hog.node_series.as_arrays()
+        first_reached = times[values >= 5][0]
+        assert t == first_reached
+
+    def test_immediate_return_when_already_satisfied(self):
+        sim, hog = make_hog(target=5)
+        hog.run_until_nodes(5)
+        before = sim.now
+        assert hog.run_until_nodes(3) == before  # no time passes
+        assert sim.now == before
+
+    def test_timeout_still_raises(self):
+        sim, hog = make_hog(target=4, n_sites=1, capacity=2)
+        with pytest.raises(TimeoutError):
+            hog.run_until_nodes(3, timeout=500.0)
+        assert hog.running_nodes() == 2  # grid is simply full
+
+    def test_when_running_event_api(self):
+        sim, hog = make_hog(target=4)
+        ev = hog.factory.when_running(4)
+        assert not ev.triggered
+        assert sim.run_until(ev, deadline=sim.now + 10_000.0)
+        assert hog.running_nodes() >= 4
+        # Already-satisfied waits fire immediately.
+        assert hog.factory.when_running(2).triggered
+
+
+class TestRunUntilJobsDone:
+    def test_returns_exact_finish_timestamp(self):
+        sim, hog = make_hog(target=6)
+        hog.run_until_nodes(6)
+        hog.preload_input("/in/exact", n_blocks=6)
+        job = hog.submit(JobSpec("exact", 6, 2, "/in/exact",
+                                 map_cpu_per_block=5.0))
+        t = hog.run_until_jobs_done([job])
+        assert job.status == JobStatus.SUCCEEDED
+        # Exactly the job's finish time — the polling version returned the
+        # next 25 s grid point instead.
+        assert t == job.finish_time
+        assert sim.now == job.finish_time
+
+    def test_already_finished_jobs_return_immediately(self):
+        sim, hog = make_hog(target=4)
+        hog.run_until_nodes(4)
+        hog.preload_input("/in/again", n_blocks=4)
+        job = hog.submit(JobSpec("again", 4, 1, "/in/again",
+                                 map_cpu_per_block=2.0))
+        hog.run_until_jobs_done([job])
+        before = sim.now
+        assert hog.run_until_jobs_done([job]) == before
+        assert sim.now == before
+
+    def test_concurrent_waiters_both_fire(self):
+        # Regression: a self-removing waiter used to skip the listener
+        # registered after it (list mutated during iteration), leaving the
+        # second waiter hung forever.
+        sim, hog = make_hog(target=4)
+        hog.run_until_nodes(4)
+        hog.preload_input("/in/c", n_blocks=4)
+        job = hog.submit(JobSpec("c", 4, 1, "/in/c", map_cpu_per_block=2.0))
+        ev1 = hog.jobtracker.when_jobs_done([job])
+        ev2 = hog.jobtracker.when_jobs_done([job])
+        assert sim.run_until(ev1, deadline=sim.now + 100_000.0)
+        assert ev2.triggered, "second waiter must fire on the same finish"
+        assert not hog.jobtracker._job_waiters  # both listeners released
+
+    def test_cancel_wait_releases_timed_out_listener(self):
+        sim, hog = make_hog(target=4)
+        hog.run_until_nodes(4)
+        hog.preload_input("/in/t", n_blocks=4)
+        job = hog.submit(JobSpec("t", 4, 1, "/in/t", map_cpu_per_block=50.0))
+        before = len(hog.jobtracker.job_done_listeners)
+        with pytest.raises(TimeoutError):
+            hog.run_until_jobs_done([job], timeout=1.0)
+        # The abandoned wait must not leak its listener.
+        assert len(hog.jobtracker.job_done_listeners) == before
+
+    def test_when_jobs_done_event_fires_for_all(self):
+        sim, hog = make_hog(target=6)
+        hog.run_until_nodes(6)
+        hog.preload_input("/in/a", n_blocks=3)
+        hog.preload_input("/in/b", n_blocks=3)
+        j1 = hog.submit(JobSpec("a", 3, 1, "/in/a", map_cpu_per_block=2.0))
+        j2 = hog.submit(JobSpec("b", 3, 1, "/in/b", map_cpu_per_block=9.0))
+        done = hog.jobtracker.when_jobs_done([j1, j2])
+        assert sim.run_until(done, deadline=sim.now + 100_000.0)
+        assert j1.finish_time is not None and j2.finish_time is not None
+        assert sim.now == max(j1.finish_time, j2.finish_time)
+
+
+class TestSimulatorRunUntil:
+    def test_stops_at_event_trigger_time(self):
+        sim = Simulator()
+        ev = sim.timeout(7.25)
+        assert sim.run_until(ev)
+        assert sim.now == 7.25
+
+    def test_deadline_advances_time_and_returns_false(self):
+        sim = Simulator()
+        sim.timeout(50.0)
+        never = sim.event()
+        assert not sim.run_until(never, deadline=10.0)
+        assert sim.now == 10.0
+
+    def test_empty_schedule_returns_false(self):
+        sim = Simulator()
+        assert not sim.run_until(sim.event())
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.timeout(float(i))
+        sim.run()
+        assert sim.events_processed == 5

@@ -173,6 +173,105 @@ class TestAborts:
         assert sim.now == pytest.approx(10.0)
 
 
+class TestSetupPhaseAbort:
+    """Regression: a transfer still in its latency/handshake setup phase to
+    or from a dead host must fail, not silently start and deliver bytes to
+    a dead endpoint (the pre-fix ``abort_host_flows`` only scanned flows
+    already in the fluid phase)."""
+
+    def _fabric_with_latency(self):
+        cfg = FabricConfig(nic_bandwidth=100.0, site_uplink_bandwidth=1000.0,
+                           intra_site_latency=0.5, inter_site_latency=2.0)
+        sim = Simulator()
+        return sim, NetworkFabric(sim, NetworkTopology(), cfg)
+
+    def test_preemption_during_setup_fails_transfer(self):
+        sim, fabric = self._fabric_with_latency()
+        # Cross-site: the setup (one-way latency) phase lasts 2.0 s.
+        ev = fabric.transfer("a.unl.edu", "b.mit.edu", 1000.0)
+        caught = []
+
+        def watcher(sim):
+            try:
+                yield ev
+            except TransferFailed as exc:
+                caught.append(str(exc))
+
+        def preempt(sim):
+            # The destination node is preempted 1 s in — mid-setup, before
+            # the flow reaches the fluid phase.
+            yield sim.timeout(1.0)
+            n = fabric.abort_host_flows("b.mit.edu")
+            assert n == 1  # the pending transfer was found and aborted
+
+        sim.process(watcher(sim))
+        sim.process(preempt(sim))
+        sim.run()
+        assert caught, "transfer to a dead host must fail, not deliver"
+        # The setup timer firing later must not resurrect the flow.
+        assert fabric.active_flows == 0
+
+    def test_src_side_death_during_setup_also_aborts(self):
+        sim, fabric = self._fabric_with_latency()
+        ev = fabric.transfer("a.unl.edu", "b.mit.edu", 1000.0)
+        ev.defused()
+
+        def preempt(sim):
+            yield sim.timeout(0.5)
+            assert fabric.abort_host_flows("a.unl.edu") == 1
+
+        sim.process(preempt(sim))
+        sim.run()
+        assert not ev.ok
+        assert fabric.active_flows == 0
+
+    def test_abort_after_setup_still_counts_fluid_flow(self):
+        sim, fabric = self._fabric_with_latency()
+        fabric.transfer("a.unl.edu", "b.mit.edu", 1000.0).defused()
+
+        def preempt(sim):
+            yield sim.timeout(3.0)  # past the 2.0 s setup: fluid phase
+            assert fabric.abort_host_flows("b.mit.edu") == 1
+
+        sim.process(preempt(sim))
+        sim.run()
+        assert fabric.active_flows == 0
+
+
+class TestStarvationGuard:
+    """Regression: a flow left with ``rate == 0`` by a degenerate
+    progressive-filling pass used to wait for "the next rebalance" — which
+    never comes if no other flow starts or finishes, deadlocking
+    ``sim.run()``.  The guard forces a retry pass that re-rates it."""
+
+    def test_zero_rate_flow_recovers_and_completes(self):
+        sim, fabric = make_fabric()
+        ev = fabric.transfer("a.unl.edu", "b.unl.edu", 1000.0)
+        sim.run(until=0.0)  # let the flow enter the fluid phase
+        assert fabric.active_flows == 1
+        flow = next(iter(fabric._flows))
+        # Emulate the degenerate filling outcome: starved, timer cancelled.
+        flow.rate = 0.0
+        flow._timer_version += 1
+        flow._timer_at = None
+        fabric._schedule_completion(flow)
+        # Pre-fix this deadlocks ("ran out of events"); post-fix the retry
+        # pass re-rates the flow and the transfer completes: 1 s retry
+        # delay + 1000 B at the full 100 B/s NIC.
+        sim.run(until=ev)
+        assert ev.ok
+        assert sim.now == pytest.approx(fabric.STARVATION_RETRY + 10.0)
+        assert fabric.active_flows == 0
+
+    def test_normal_filling_never_starves(self):
+        sim, fabric = make_fabric()
+        evs = [fabric.transfer(f"s{i}.unl.edu", f"d{i % 2}.mit.edu", 300.0)
+               for i in range(6)]
+        sim.run(until=sim.all_of(evs))
+        assert fabric.starvation_rescues == 0
+        assert fabric.active_flows == 0
+
+
 class TestEstimates:
     def test_estimate_matches_uncontended_run(self):
         sim, fabric = make_fabric()

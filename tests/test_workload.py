@@ -139,3 +139,33 @@ class TestSchedule:
     def test_loadgen_params_validation(self):
         with pytest.raises(ValueError):
             LoadgenParams(map_cpu_per_block=-1).validate()
+
+
+class TestPublicApi:
+    """The workload package's documented surface (regression: ``sample_interarrivals``
+    was missing from ``facebook.__all__`` even though the package re-exported it)."""
+
+    def test_package_all_names_resolve(self):
+        import repro.workload as workload
+        for name in workload.__all__:
+            assert hasattr(workload, name), f"workload.__all__ exports missing {name}"
+
+    def test_facebook_module_all_names_resolve(self):
+        import repro.workload.facebook as facebook
+        for name in facebook.__all__:
+            assert hasattr(facebook, name), f"facebook.__all__ exports missing {name}"
+
+    def test_sample_interarrivals_exported_everywhere(self):
+        import repro.workload as workload
+        import repro.workload.facebook as facebook
+        assert "sample_interarrivals" in facebook.__all__
+        assert "sample_interarrivals" in workload.__all__
+        assert workload.sample_interarrivals is facebook.sample_interarrivals
+
+    def test_sample_interarrivals_behaviour(self):
+        draws = sample_interarrivals(500, np.random.default_rng(3))
+        assert len(draws) == 500
+        assert all(d >= 0 for d in draws)
+        # Exponential with mean 14 s (Table I text): the sample mean of 500
+        # draws lands well inside a loose band.
+        assert 10.0 < float(np.mean(draws)) < 19.0
