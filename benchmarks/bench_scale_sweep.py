@@ -3,24 +3,35 @@
 The perf trajectory anchor for the repo: runs the Table II workload on HOG
 deployments of increasing size and records wall-clock, simulated time,
 events processed, events/second of wall time, peak concurrent flow count,
-and fabric rebalance passes, then writes everything to ``BENCH_scale.json``
-next to this script.
+and channel-core pass statistics, then writes everything to
+``BENCH_scale.json`` next to this script.
+
+Two scenarios per node count:
+
+- ``baseline`` — the paper's Table II cost model (what PR 1 recorded);
+- ``contended`` — a shuffle-heavy variant (double the intermediate data)
+  on slow disks, so shuffle serves and replication streams are genuinely
+  *disk*-bottlenecked.  This exercises the unified channel core's joint
+  disk+network demands: every fetch drains through the server's disk-read
+  constraint, its NIC, and (cross-site) the WAN legs at once.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_scale_sweep.py              # 100/250/500/1000
     PYTHONPATH=src python benchmarks/bench_scale_sweep.py --nodes 100 250
+    PYTHONPATH=src python benchmarks/bench_scale_sweep.py --smoke      # CI-fast
     REPRO_SCALE=0.1 PYTHONPATH=src python benchmarks/bench_scale_sweep.py
 
 Workload scale follows ``REPRO_SCALE`` (default 0.25, like the other
-benches); ``--scale`` overrides.  Node counts beyond the paper's 55-100
-exercise exactly the hot paths this repo optimises: event-driven run
-loops, incremental fabric rebalancing, and O(1) host-flow indexes.
+benches); ``--scale`` overrides.  ``--smoke`` shrinks the sweep (one small
+node count, tiny scale, both scenarios) to a couple of wall seconds so the
+fast test tier can keep the harness itself from rotting.
 """
 
 from __future__ import annotations
 
 import argparse
+from dataclasses import replace
 import json
 import os
 import sys
@@ -33,29 +44,55 @@ if __package__ in (None, ""):
     if _src.is_dir() and str(_src) not in sys.path:
         sys.path.insert(0, str(_src))
 
+from repro.core.config import NodeConfig
 from repro.experiments import calibration
 from repro.experiments.common import HogRunSettings, run_facebook_on_hog
+from repro.workload.schedule import LoadgenParams
 
 DEFAULT_NODE_COUNTS = (100, 250, 500, 1000)
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_scale.json"
 
 
-def run_point(n_nodes: int, scale: float, seed: int) -> dict:
+def contended_loadgen() -> LoadgenParams:
+    """Shuffle-heavy job costs: 2x the baseline intermediate data,
+    everything else inherited from the calibrated base."""
+    base = calibration.default_loadgen()
+    return replace(base, map_output_ratio=2.0 * base.map_output_ratio)
+
+
+def contended_node() -> NodeConfig:
+    """Slow spinning disks (half the default bandwidth): the shuffle's
+    joint disk+network demands become disk-bound.  Everything else —
+    notably the calibrated grid CPU speed band — matches the baseline
+    scenario, so the two differ ONLY in disk bandwidth."""
+    return replace(calibration.grid_node_config(),
+                   disk_read_rate=45e6, disk_write_rate=35e6)
+
+
+def run_point(n_nodes: int, scale: float, seed: int,
+              scenario: str = "baseline") -> dict:
     """One sweep point: run the workload, return its perf record."""
+    kwargs = {}
+    if scenario == "contended":
+        kwargs["loadgen"] = contended_loadgen()
+        kwargs["node"] = contended_node()
+    else:
+        kwargs["loadgen"] = calibration.default_loadgen()
     settings = HogRunSettings(
         n_nodes=n_nodes, seed=seed + n_nodes, scale=scale,
-        loadgen=calibration.default_loadgen(),
         # Under churn the running count hovers just below the target while
         # replacements re-download the worker package; waiting for a 100%
         # lull at 1000 nodes costs simulated *hours*.  98% matches the
         # paper's fluctuation-tolerant reading of "reaches this number".
-        ramp_fraction=0.98)
+        ramp_fraction=0.98, **kwargs)
     t0 = time.perf_counter()
     result, hog = run_facebook_on_hog(settings, return_system=True)
     wall = time.perf_counter() - t0
     events = hog.sim.events_processed
+    channel = hog.fabric.channel
     return {
         "nodes": n_nodes,
+        "scenario": scenario,
         "scale": scale,
         "seed": settings.seed,
         "wall_seconds": round(wall, 3),
@@ -63,8 +100,12 @@ def run_point(n_nodes: int, scale: float, seed: int) -> dict:
         "events": events,
         "events_per_second": round(events / wall) if wall > 0 else None,
         "peak_flows": hog.fabric.peak_flows,
-        "fabric_rebalances": hog.fabric.rebalances,
-        "starvation_rescues": hog.fabric.starvation_rescues,
+        "peak_demands": channel.peak_demands,
+        "fabric_rebalances": channel.rebalances,
+        "uniform_groups": channel.uniform_groups,
+        "uniform_completions": channel.uniform_completions,
+        "cross_partition_passes": channel.cross_partition_passes,
+        "starvation_rescues": channel.starvation_rescues,
         "workload_response_seconds": round(result.response_time, 1),
         "failed_jobs": result.failed_jobs,
     }
@@ -79,34 +120,66 @@ def main(argv=None) -> int:
                         default=float(os.environ.get("REPRO_SCALE", "0.25")),
                         help="workload scale in (0, 1] (default: REPRO_SCALE or 0.25)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scenarios", nargs="+",
+                        default=["baseline", "contended"],
+                        choices=["baseline", "contended"],
+                        help="which workload scenarios to run")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sweep (one small point per scenario) for "
+                             "the fast test tier")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
 
+    nodes = args.nodes
+    scale = args.scale
+    # The contended scenario is a model-coverage anchor, not a scaling
+    # anchor: run it at the two smallest node counts only.
+    contended_nodes = sorted(nodes)[:2]
+    if args.smoke:
+        nodes = [30]
+        contended_nodes = [30]
+        scale = 0.04
+
     points = []
-    for n in args.nodes:
-        print(f"[scale-sweep] running {n} nodes @ scale {args.scale} ...",
-              flush=True)
-        record = run_point(n, args.scale, args.seed)
-        points.append(record)
-        print(f"[scale-sweep]   {record['wall_seconds']:.2f}s wall, "
-              f"{record['events']} events "
-              f"({record['events_per_second']}/s), "
-              f"peak {record['peak_flows']} flows, "
-              f"response {record['workload_response_seconds']}s",
-              flush=True)
+    contended_points = []
+    for n in nodes:
+        if "baseline" in args.scenarios:
+            print(f"[scale-sweep] running {n} nodes @ scale {scale} ...",
+                  flush=True)
+            record = run_point(n, scale, args.seed)
+            points.append(record)
+            _report(record)
+    for n in contended_nodes:
+        if "contended" in args.scenarios:
+            print(f"[scale-sweep] running {n} nodes @ scale {scale} "
+                  f"(shuffle-heavy, slow disks) ...", flush=True)
+            record = run_point(n, scale, args.seed, scenario="contended")
+            contended_points.append(record)
+            _report(record)
 
     report = {
         "benchmark": "bench_scale_sweep",
         "description": "fig4-style Facebook workload on HOG at increasing "
-                       "node counts (event-driven run loops + incremental "
-                       "fabric rebalancing)",
+                       "node counts (unified max-min channel core: joint "
+                       "disk+network demands, per-bottleneck group timers, "
+                       "slack-link decoupling)",
         "python": sys.version.split()[0],
         "points": points,
+        "contended_points": contended_points,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[scale-sweep] wrote {args.output}")
     return 0
+
+
+def _report(record: dict) -> None:
+    print(f"[scale-sweep]   {record['wall_seconds']:.2f}s wall, "
+          f"{record['events']} events "
+          f"({record['events_per_second']}/s), "
+          f"peak {record['peak_flows']} flows, "
+          f"response {record['workload_response_seconds']}s",
+          flush=True)
 
 
 if __name__ == "__main__":

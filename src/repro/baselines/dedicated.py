@@ -146,7 +146,9 @@ class DedicatedCluster:
 
     def _add_node(self, host: str, group: NodeGroup) -> None:
         disk = Disk(self.sim, host, group.disk_capacity,
-                    group.disk_read_rate, group.disk_write_rate)
+                    group.disk_read_rate, group.disk_write_rate,
+                    channel=self.fabric.channel,
+                    partition=self.fabric.topology.site_of(host))
         dn = Datanode(self.sim, host, disk, self.fabric, self.namenode,
                       self.config.hdfs)
         dn.start()

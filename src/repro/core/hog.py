@@ -142,8 +142,13 @@ class HOGSystem:
     def _node_start(self, host: str, site: GridSite) -> WorkerNode:
         node_cfg = self.config.node
         speed = float(self.rng.uniform(node_cfg.speed_min, node_cfg.speed_max))
+        # The disk drains through the fabric's shared channel so shuffle
+        # serves, HDFS reads, and replication streams are jointly
+        # constrained by disk and network bandwidth.
         disk = Disk(self.sim, host, node_cfg.disk_capacity,
-                    node_cfg.disk_read_rate, node_cfg.disk_write_rate)
+                    node_cfg.disk_read_rate, node_cfg.disk_write_rate,
+                    channel=self.fabric.channel,
+                    partition=self.fabric.topology.site_of(host))
         dn = Datanode(self.sim, host, disk, self.fabric, self.namenode,
                       self.config.hdfs)
         dn.start()

@@ -195,8 +195,18 @@ class Datanode:
             done.defused()
             return
         try:
-            yield self.fabric.transfer(source, self.host, block.size)
-            yield self.disk.write(block.size)
+            if self.disk.shares_channel_with(self.fabric):
+                # Streaming receive: one demand jointly constrained by the
+                # network path (source NIC, WAN legs, our NIC) and our disk
+                # write bandwidth — data is persisted as it arrives, like a
+                # real pipelined block write.
+                yield self.fabric.transfer(
+                    source, self.host, block.size,
+                    extra_constraints=(self.disk.write_constraint,),
+                    validate=lambda: self.disk.alive)
+            else:
+                yield self.fabric.transfer(source, self.host, block.size)
+                yield self.disk.write(block.size)
         except (TransferFailed, DiskIOError) as exc:
             if self.disk.alive:
                 self.disk.release(block.size, HDFS_LABEL)
@@ -230,12 +240,10 @@ class Datanode:
             return
         block = self._blocks[block_id]
         try:
-            # Disk read and network send overlap in a streaming read; the
-            # elapsed time is dominated by the slower of the two, which we
-            # model by running them concurrently and waiting for both.
-            read_ev = self.disk.read(block.size)
-            xfer_ev = self.fabric.transfer(self.host, reader, block.size)
-            yield self.sim.all_of([read_ev, xfer_ev])
+            # Streaming read: jointly constrained by our disk read
+            # bandwidth and the network path to the reader.
+            yield self.fabric.serve_stream(self.host, reader, block.size,
+                                           self.disk)
         except (DiskIOError, TransferFailed) as exc:
             done.fail(BlockReadError(str(exc)))
             done.defused()

@@ -18,7 +18,8 @@ availability until the datanode's disk self-check (if enabled) kills it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set
+import heapq
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..net.topology import NetworkTopology
 from ..sim.engine import Simulator
@@ -70,7 +71,19 @@ class Namenode:
         self._block_file: Dict[int, str] = {}
         self._nodes: Dict[str, DatanodeDescriptor] = {}
         self._host_blocks: Dict[str, Set[int]] = {}
-        self._needed: Set[int] = set()  # under-replicated block ids
+        #: Under-replicated block ids — maintained *incrementally* on every
+        #: replica add/remove (heartbeat re-registration, death, commit),
+        #: so the replication monitor never scans the block map.
+        self._needed: Set[int] = set()
+        #: Believed-alive hosts (insertion-ordered dict as a set): an O(live)
+        #: answer for placement instead of an O(all datanodes) scan per
+        #: scheduled block.
+        self._live_hosts: Dict[str, None] = {}
+        #: (believed expiry time, host) heap for the heartbeat monitor —
+        #: entries are lazily revalidated against ``last_heartbeat`` on pop
+        #: and re-pushed, so each monitor tick costs O(expiring) instead of
+        #: O(all datanodes).
+        self._hb_heap: List[Tuple[float, str]] = []
         self._next_block_id = 0
         self.counters = CounterSet()
         #: Called with the hostname whenever a datanode is declared dead.
@@ -90,10 +103,21 @@ class Namenode:
         try:
             while True:
                 yield self.sim.timeout(self.config.heartbeat_recheck_period)
-                cutoff = self.sim.now - self.config.heartbeat_timeout
-                for desc in list(self._nodes.values()):
-                    if desc.alive and desc.last_heartbeat < cutoff:
+                now = self.sim.now
+                timeout = self.config.heartbeat_timeout
+                heap = self._hb_heap
+                while heap and heap[0][0] <= now:
+                    _, host = heapq.heappop(heap)
+                    desc = self._nodes.get(host)
+                    if desc is None or not desc.alive:
+                        continue  # stale entry (dead or replaced node)
+                    deadline = desc.last_heartbeat + timeout
+                    if deadline <= now:
                         self._declare_dead(desc)
+                    else:
+                        # Heartbeats arrived since the entry was pushed:
+                        # re-aim at the refreshed deadline.
+                        heapq.heappush(heap, (deadline, host))
         except Interrupt:
             return
 
@@ -114,6 +138,9 @@ class Namenode:
         self.topology.add_host(host)
         self._nodes[host] = DatanodeDescriptor(datanode, self.sim.now)
         self._host_blocks.setdefault(host, set())
+        self._live_hosts[host] = None
+        heapq.heappush(self._hb_heap,
+                       (self.sim.now + self.config.heartbeat_timeout, host))
         self.counters.incr("datanodes_registered")
         # A restarted node may still hold replicas from a previous life.
         for bid in datanode.block_ids:
@@ -130,6 +157,10 @@ class Namenode:
         desc.last_heartbeat = self.sim.now
         if not desc.alive:
             desc.alive = True
+            self._live_hosts[datanode.host] = None
+            heapq.heappush(self._hb_heap,
+                           (self.sim.now + self.config.heartbeat_timeout,
+                            datanode.host))
             self.counters.incr("datanodes_reregistered")
             for bid in datanode.block_ids:
                 if bid in self._blocks:
@@ -141,6 +172,7 @@ class Namenode:
         lost and the Namenode will automatically replicate those blocks")."""
         desc.alive = False
         host = desc.host
+        self._live_hosts.pop(host, None)
         self.counters.incr("datanodes_declared_dead")
         for bid in list(self._host_blocks.get(host, ())):
             self._remove_replica(bid, host)
@@ -209,11 +241,16 @@ class Namenode:
         return self._files[fname].replication
 
     def _schedule_replication_work(self, work_limit: int = 64) -> None:
-        """One scan of the under-replicated queue, most endangered first."""
+        """One scan of the under-replicated *index*, most endangered first.
+
+        Cost is O(|needed| log |needed|) — the block map is never scanned,
+        and the believed-live host list is materialised once per pass, not
+        once per block."""
         if not self._needed:
             return
         order = sorted(self._needed,
                        key=lambda bid: self._blocks[bid].live_replica_count)
+        live = self.live_datanode_hosts()
         scheduled = 0
         for bid in order:
             if scheduled >= work_limit:
@@ -229,13 +266,15 @@ class Namenode:
             sources = [h for h in info.replicas if self._is_usable_source(h)]
             if not sources:
                 continue  # nothing to copy from (yet) — maybe a node returns
-            live = self.live_datanode_hosts()
             size = info.block.size
             targets = self.placement.choose_targets(
                 None, missing, info.replicas | info.pending_targets, live,
                 lambda h: self._can_host_store(h, size))
             for tgt in targets:
-                src = min(sources, key=lambda h: self._nodes[h].datanode.active_repl_streams)
+                # Tie-break by hostname: replica sets iterate in hash
+                # order, and the choice must not depend on that.
+                src = min(sources, key=lambda h: (
+                    self._nodes[h].datanode.active_repl_streams, h))
                 if self._nodes[src].datanode.active_repl_streams >= self.config.max_replication_streams:
                     break
                 info.pending_targets.add(tgt)
@@ -281,12 +320,13 @@ class Namenode:
     # -- queries ------------------------------------------------------------------
     def live_datanode_hosts(self) -> List[str]:
         """Hosts the namenode currently *believes* are alive (includes
-        zombies — that is the point of §IV-D1)."""
-        return [h for h, d in self._nodes.items() if d.alive]
+        zombies — that is the point of §IV-D1).  O(live), via the index
+        maintained on register/heartbeat/death events."""
+        return list(self._live_hosts)
 
     def num_live_datanodes(self) -> int:
-        """Count of believed-alive datanodes."""
-        return sum(1 for d in self._nodes.values() if d.alive)
+        """Count of believed-alive datanodes (O(1))."""
+        return len(self._live_hosts)
 
     def datanode(self, host: str) -> Datanode:
         """The datanode object registered at ``host``."""

@@ -173,10 +173,11 @@ class Job:
         "job_id", "spec", "submit_time", "start_time", "finish_time",
         "status", "maps", "reduces", "map_outputs", "blacklist",
         "locality_counters", "_map_completed_listeners",
+        "_requeue_listeners",
         "pending_map_tasks", "pending_reduce_tasks",
         "running_map_tasks", "running_reduce_tasks",
         "_n_completed_maps", "_n_completed_reduces",
-        "_dur_sum", "_dur_count", "_attempt_heaps",
+        "_dur_sum", "_dur_count", "_attempt_heaps", "spec_gate",
     )
 
     def __init__(self, job_id: int, spec: JobSpec, submit_time: float) -> None:
@@ -197,11 +198,17 @@ class Job:
         self.locality_counters: Dict[str, int] = {
             "data_local": 0, "site_local": 0, "remote": 0}
         self._map_completed_listeners: List = []
+        #: Fired with the task whenever one returns to PENDING (failure
+        #: recovery, lost map output): index maintainers re-admit it.
+        self._requeue_listeners: List = []
         # O(1) progress bookkeeping (kept exact by Task.set_status).
-        self.pending_map_tasks: Set[Task] = set(self.maps)
-        self.pending_reduce_tasks: Set[Task] = set(self.reduces)
-        self.running_map_tasks: Set[Task] = set()
-        self.running_reduce_tasks: Set[Task] = set()
+        # Insertion-ordered dicts used as sets: scheduler scans iterate
+        # these, and hash-order iteration over *objects* would make runs
+        # irreproducible (id()-dependent).  Initial order = task index.
+        self.pending_map_tasks: Dict[Task, None] = dict.fromkeys(self.maps)
+        self.pending_reduce_tasks: Dict[Task, None] = dict.fromkeys(self.reduces)
+        self.running_map_tasks: Dict[Task, None] = {}
+        self.running_reduce_tasks: Dict[Task, None] = {}
         self._n_completed_maps = 0
         self._n_completed_reduces = 0
         self._dur_sum = {TaskType.MAP: 0.0, TaskType.REDUCE: 0.0}
@@ -210,6 +217,12 @@ class Job:
         # lets the scheduler find the oldest still-running attempt in O(1)
         # and skip the speculation scan when nothing can be slow enough.
         self._attempt_heaps = {TaskType.MAP: [], TaskType.REDUCE: []}
+        #: Earliest sim time at which a speculation scan could possibly
+        #: find a candidate, per task type (0 = unknown, must scan).  Set
+        #: by the scheduler from the oldest-running-attempt bound; reset
+        #: whenever the average-duration baseline moves (completions),
+        #: since a lower average lowers the slowness threshold.
+        self.spec_gate = {TaskType.MAP: 0.0, TaskType.REDUCE: 0.0}
 
     def _on_task_transition(self, task: Task, old: str, new: str) -> None:
         """Maintain the per-status sets and counters (see Task.set_status)."""
@@ -218,18 +231,20 @@ class Job:
         else:
             pending, running = self.pending_reduce_tasks, self.running_reduce_tasks
         if old == TaskStatus.PENDING:
-            pending.discard(task)
+            pending.pop(task, None)
         elif old == TaskStatus.RUNNING:
-            running.discard(task)
+            running.pop(task, None)
         elif old == TaskStatus.COMPLETED:
             if task.type == TaskType.MAP:
                 self._n_completed_maps -= 1
             else:
                 self._n_completed_reduces -= 1
         if new == TaskStatus.PENDING:
-            pending.add(task)
+            pending[task] = None
+            for cb in self._requeue_listeners:
+                cb(task)
         elif new == TaskStatus.RUNNING:
-            running.add(task)
+            running[task] = None
         elif new == TaskStatus.COMPLETED:
             if task.type == TaskType.MAP:
                 self._n_completed_maps += 1
@@ -240,6 +255,7 @@ class Job:
         """Record a winning attempt's duration (speculation baseline)."""
         self._dur_sum[task_type] += duration
         self._dur_count[task_type] += 1
+        self.spec_gate[task_type] = 0.0  # threshold moved: re-evaluate
 
     def note_attempt_launched(self, attempt: "TaskAttempt") -> None:
         """Index a fresh attempt for the oldest-running-attempt query."""
@@ -286,6 +302,11 @@ class Job:
         if not self.reduces:
             return False
         return self.completed_maps >= slowstart * len(self.maps)
+
+    def subscribe_task_requeued(self, callback) -> None:
+        """Register a callback fired with any task that returns to PENDING
+        (used by scheduler locality indexes to re-admit pruned tasks)."""
+        self._requeue_listeners.append(callback)
 
     # -- map-output pub/sub (drives the shuffle) -------------------------------------
     def subscribe_map_completed(self, callback) -> None:

@@ -44,13 +44,24 @@ class TaskScheduler:
 
 
 class _JobLocalityIndex:
-    """Host → map tasks and site → map tasks, from initial block placement."""
+    """Host → map tasks and site → map tasks, from initial block placement.
 
-    __slots__ = ("host_maps", "site_maps")
+    The per-host/per-site lists are insertion-ordered dicts used as sets.
+    Tasks that leave the PENDING state are *pruned* during scans, so a
+    long-lived job's locality lookups stop walking finished work (at 10k
+    nodes the per-heartbeat scan would otherwise be dominated by completed
+    tasks).  Pruning is revert-safe: a pruned task that returns to PENDING
+    (fetch-failure re-execution, lost tracker) is re-admitted through the
+    job's requeue listener, using the locations recorded at build time.
+    """
+
+    __slots__ = ("host_maps", "site_maps", "_locations")
 
     def __init__(self, job: Job, jobtracker: "JobTracker") -> None:
-        self.host_maps: Dict[str, List[Task]] = {}
-        self.site_maps: Dict[str, List[Task]] = {}
+        self.host_maps: Dict[str, Dict[Task, None]] = {}
+        self.site_maps: Dict[str, Dict[Task, None]] = {}
+        #: task → (hosts, sites) snapshot for revert-safe re-admission.
+        self._locations: Dict[Task, tuple] = {}
         blocks = jobtracker.input_blocks(job)
         topo = jobtracker.topology
         for task in job.maps:
@@ -58,12 +69,28 @@ class _JobLocalityIndex:
                 locations = jobtracker.namenode.locate(blocks[task.index].block_id)
             except Exception:
                 locations = []
-            sites = set()
+            sites = []
             for host in locations:
-                self.host_maps.setdefault(host, []).append(task)
-                sites.add(topo.site_of(host))
+                self.host_maps.setdefault(host, {})[task] = None
+                site = topo.site_of(host)
+                if site not in sites:
+                    sites.append(site)
             for site in sites:
-                self.site_maps.setdefault(site, []).append(task)
+                self.site_maps.setdefault(site, {})[task] = None
+            if locations:
+                self._locations[task] = (tuple(locations), tuple(sites))
+        job.subscribe_task_requeued(self._readmit)
+
+    def _readmit(self, task: Task) -> None:
+        """A pruned task went back to PENDING: restore its index entries."""
+        loc = self._locations.get(task)
+        if loc is None:
+            return
+        hosts, sites = loc
+        for host in hosts:
+            self.host_maps.setdefault(host, {})[task] = None
+        for site in sites:
+            self.site_maps.setdefault(site, {})[task] = None
 
 
 class FifoScheduler(TaskScheduler):
@@ -122,20 +149,37 @@ class FifoScheduler(TaskScheduler):
 
     def _most_local(self, job: Job, tracker,
                     chosen_tasks) -> Tuple[Optional[Task], str]:
-        """Locality ladder: node-local block → site-local block → any."""
+        """Locality ladder: node-local block → site-local block → any.
 
-        def first_pending(tasks: List[Task]) -> Optional[Task]:
+        Non-pending tasks encountered during the scan are pruned from the
+        index list on the spot (amortised O(1): each task pays one prune
+        per departure from PENDING; reverts re-admit via the job hook)."""
+
+        def first_pending(tasks: Optional[Dict[Task, None]]) -> Optional[Task]:
+            if not tasks:
+                return None
+            found = None
+            stale = None
             for t in tasks:
-                if t.status == TaskStatus.PENDING and t not in chosen_tasks:
-                    return t
-            return None
+                if t.status == TaskStatus.PENDING:
+                    if t not in chosen_tasks:
+                        found = t
+                        break
+                elif stale is None:
+                    stale = [t]
+                else:
+                    stale.append(t)
+            if stale is not None:
+                for t in stale:
+                    del tasks[t]
+            return found
 
         idx = self._index_for(job)
-        task = first_pending(idx.host_maps.get(tracker.host, ()))
+        task = first_pending(idx.host_maps.get(tracker.host))
         if task is not None:
             return task, "data_local"
         site = self.jobtracker.topology.site_of(tracker.host)
-        task = first_pending(idx.site_maps.get(site, ()))
+        task = first_pending(idx.site_maps.get(site))
         if task is not None:
             return task, "site_local"
         for t in job.pending_map_tasks:
@@ -144,11 +188,16 @@ class FifoScheduler(TaskScheduler):
         return None, "remote"
 
     def _locality_of(self, job: Job, task: Task, tracker) -> str:
-        idx = self._index_for(job)
-        if task in idx.host_maps.get(tracker.host, ()):
+        # Answer from the build-time location snapshot, NOT the scan
+        # indexes: those prune non-pending tasks, and this is asked about
+        # *running* tasks (speculative copies).
+        loc = self._index_for(job)._locations.get(task)
+        if loc is None:
+            return "remote"
+        hosts, sites = loc
+        if tracker.host in hosts:
             return "data_local"
-        site = self.jobtracker.topology.site_of(tracker.host)
-        if task in idx.site_maps.get(site, ()):
+        if self.jobtracker.topology.site_of(tracker.host) in sites:
             return "site_local"
         return "remote"
 
@@ -180,6 +229,14 @@ class FifoScheduler(TaskScheduler):
                                chosen_tasks) -> Optional[Task]:
         """A running task whose attempt is 1/3 slower than the job average,
         eligible for one more copy, and not already running on this node."""
+        now = self.jobtracker.sim.now
+        # Time gate: a previous scan proved nothing can qualify before
+        # this instant (oldest attempt + threshold).  The gate is reset
+        # whenever a completion moves the average-duration baseline, so
+        # skipping is exact — and turns the per-heartbeat, per-job scan
+        # into a single float compare on the hot path.
+        if now < job.spec_gate[task_type]:
+            return None
         avg = job.average_completed_duration(task_type)
         if avg is None:
             return None
@@ -189,11 +246,13 @@ class FifoScheduler(TaskScheduler):
             return None
         threshold = max(self.config.speculation_min_elapsed,
                         self.config.speculation_slowness_factor * avg)
-        now = self.jobtracker.sim.now
         # O(1) prune: if even the oldest running attempt is younger than
-        # the slowness threshold, no task can qualify — skip the scan.
+        # the slowness threshold, no task can qualify — skip the scan and
+        # remember when that could first change.
         oldest = job.oldest_running_attempt_start(task_type)
         if oldest is None or now - oldest < threshold:
+            job.spec_gate[task_type] = (
+                now + threshold if oldest is None else oldest + threshold)
             return None
         best: Optional[Task] = None
         best_elapsed = threshold

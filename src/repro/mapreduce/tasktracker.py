@@ -232,6 +232,12 @@ class TaskTracker:
         Models the tasktracker's HTTP shuffle server: a dead tracker
         refuses the connection; a zombie tracker's files are gone
         (working directory wiped), so the fetch fails either way.
+
+        When the disk shares the fabric's channel (the normal wiring),
+        the stream is ONE jointly-constrained demand over source disk
+        read, NICs, and (cross-site) the WAN legs — it drains at the
+        max-min share of the slowest of them at every instant, exactly
+        like a streaming HTTP response reading from disk.
         """
         done = self.sim.event()
         if self.state != TaskTracker.RUNNING or not self.disk.alive:
@@ -239,12 +245,10 @@ class TaskTracker:
                 f"shuffle server on {self.host} unavailable ({self.state})"))
             done.defused()
             return done
+        both = self.fabric.serve_stream(self.host, dest, nbytes, self.disk)
+
         # Callback-chained (no helper process): the shuffle creates one of
         # these per fetch, so the saved process is two fewer heap events.
-        read_ev = self.disk.read(nbytes)
-        xfer_ev = self.fabric.transfer(self.host, dest, nbytes)
-        both = self.sim.all_of([read_ev, xfer_ev])
-
         def finish(ev) -> None:
             if done.triggered:
                 return

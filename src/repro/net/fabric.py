@@ -9,34 +9,34 @@ this fabric.  A flow's path is:
 - inter-site: ``src NIC(tx) → src site WAN uplink → dst site WAN downlink →
   dst NIC(rx)``.
 
-Rates are the max-min fair allocation over link capacities, recomputed by
-progressive filling whenever the set of flows changes.  This captures the
-paper's central bandwidth asymmetry — "sites usually have very high
+Rates are the max-min fair allocation over link capacities.  This captures
+the paper's central bandwidth asymmetry — "sites usually have very high
 bandwidth between their worker nodes, and lower bandwidth to the outside
 world" (§III-B1) — which is what makes site-aware placement and scheduling
 pay off, and what makes the cross-site shuffle slow (§IV-D2).
 
 Latency is charged once per transfer, before the fluid phase.
 
-Scalability notes (what keeps 1000-node runs fast):
-
-- rebalances are *incremental*: a flow arrival/departure only re-rates the
-  connected component of flows reachable from the links it touched, so
-  link-disjoint traffic (e.g. two unrelated sites shuffling internally)
-  never pays for each other's churn;
-- flows whose fair share did not change keep their completion timer — no
-  timer storm of stale heap entries on every arrival;
-- per-host flow and pending-transfer indexes make
-  :meth:`NetworkFabric.abort_host_flows` O(flows touching the host);
-- progress is advanced lazily per flow, never by scanning all flows.
+The rate arithmetic itself — incremental per-component progressive
+filling, per-constraint virtual clocks, per-bottleneck group timers, and
+per-site partitioning — lives in :mod:`repro.sim.channel`; this module is
+an adapter.  It owns host naming, topology-driven path construction (with
+memoisation), latency/handshake setup phases, per-host flow indexes for
+node-death aborts, and byte-class accounting.  Because links are plain
+:class:`~repro.sim.channel.Constraint` objects on a shared
+:class:`~repro.sim.channel.FairQueue`, a transfer can be *jointly*
+constrained by non-network resources: pass a disk's read or write
+constraint via ``extra_constraints`` and the stream is rated by the
+slowest of disk and network at every instant (streaming I/O, not
+store-and-forward).
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..sim.channel import Constraint, Demand, FairQueue
 from ..sim.engine import Simulator
 from ..sim.events import Event
 from .topology import NetworkTopology
@@ -87,48 +87,28 @@ class TransferFailed(Exception):
     """A transfer was aborted (endpoint died mid-flight)."""
 
 
-class Link:
-    """A capacity-constrained directed resource (NIC direction or WAN leg)."""
+class Link(Constraint):
+    """A directed network resource (NIC direction or WAN leg)."""
 
-    __slots__ = ("name", "capacity", "flows", "group_version")
-
-    def __init__(self, name: str, capacity: float) -> None:
-        self.name = name
-        self.capacity = float(capacity)
-        #: Flows currently traversing this link.
-        self.flows: Set["Flow"] = set()
-        #: Version stamp of the link's group completion timer (see
-        #: ``NetworkFabric._rebalance`` single-bottleneck fast path).
-        self.group_version = 0
-
-    def __repr__(self) -> str:
-        return f"<Link {self.name} cap={self.capacity:g} flows={len(self.flows)}>"
+    __slots__ = ()
 
 
-class Flow:
+class Flow(Demand):
     """One in-flight transfer."""
 
-    __slots__ = (
-        "id", "src", "dst", "size", "remaining", "rate", "links",
-        "done", "_last_update", "_timer_version", "_timer_at", "_fill_mark",
-    )
+    __slots__ = ("id", "src", "dst")
 
     def __init__(self, fid: int, src: str, dst: str, size: float,
-                 links: List[Link], done: Event, now: float) -> None:
+                 links: Sequence[Constraint], done: Event, now: float) -> None:
+        super().__init__(size, links, done, now)
         self.id = fid
         self.src = src
         self.dst = dst
-        self.size = float(size)
-        self.remaining = float(size)
-        self.rate = 0.0
-        self.links = links
-        self.done = done
-        self._last_update = now
-        self._timer_version = 0
-        #: Absolute sim time of the live completion timer (None when none).
-        self._timer_at: Optional[float] = None
-        #: Progressive-filling pass id this flow was last frozen in.
-        self._fill_mark = 0
+
+    @property
+    def links(self) -> Tuple[Constraint, ...]:
+        """The constraints this flow drains through (path + any extras)."""
+        return self.constraints
 
     def __repr__(self) -> str:
         return (f"<Flow #{self.id} {self.src}->{self.dst} "
@@ -138,58 +118,66 @@ class Flow:
 class NetworkFabric:
     """The shared network all simulated hosts communicate over."""
 
-    #: Residual bytes below which a flow counts as drained (guards against
-    #: floating-point residue stranding a nearly-done flow).
-    EPSILON = 1e-3
+    #: Residual bytes below which a flow counts as drained.
+    EPSILON = FairQueue.EPSILON
 
-    #: How long a starved flow (rate pinned to zero by a degenerate
-    #: progressive-filling pass) waits before forcing another rebalance.
-    STARVATION_RETRY = 1.0
+    #: How long a starved flow waits before forcing another filling pass.
+    STARVATION_RETRY = FairQueue.STARVATION_RETRY
 
     #: Path-cache entries before a wholesale reset (guards memory on huge
     #: all-to-all shuffles; entries are cheap to recompute).
     _PATH_CACHE_LIMIT = 131072
 
     def __init__(self, sim: Simulator, topology: NetworkTopology,
-                 config: Optional[FabricConfig] = None) -> None:
+                 config: Optional[FabricConfig] = None,
+                 channel: Optional[FairQueue] = None) -> None:
         config = config or FabricConfig()
         config.validate()
         self.sim = sim
         self.topology = topology
         self.config = config
+        #: The shared max-min drain engine.  Disks created with
+        #: ``channel=fabric.channel`` participate in joint allocations.
+        self.channel = channel or FairQueue(sim)
         self._node_tx: Dict[str, Link] = {}
         self._node_rx: Dict[str, Link] = {}
         self._site_tx: Dict[str, Link] = {}
         self._site_rx: Dict[str, Link] = {}
-        self._flows: Set[Flow] = set()
+        # Insertion-ordered dicts used as sets: abort/iteration order must
+        # not depend on the interpreter's hash seed (reproducible runs).
+        self._flows: Dict[Flow, None] = {}
         #: host → flows in the fluid phase touching it (src or dst).
-        self._flows_by_host: Dict[str, Set[Flow]] = {}
+        self._flows_by_host: Dict[str, Dict[Flow, None]] = {}
         #: host → transfers still in their latency/handshake setup phase.
-        self._pending_by_host: Dict[str, Set[Flow]] = {}
-        #: Links whose flow set changed since the last rebalance; the next
-        #: pass only re-rates the flow component reachable from these.
-        self._dirty_links: Set[Link] = set()
+        self._pending_by_host: Dict[str, Dict[Flow, None]] = {}
         #: (src, dst) → (links, same_site) memo.
         self._path_cache: Dict[Tuple[str, str], Tuple[List[Link], bool]] = {}
         self._flow_counter = 0
-        self._rebalance_scheduled = False
         #: Total bytes ever delivered, by (same-site?) class — used by tests
         #: and locality accounting.
         self.bytes_intra_site = 0.0
         self.bytes_inter_site = 0.0
         #: Highwater mark of concurrent fluid-phase flows (benchmarks).
         self.peak_flows = 0
-        #: Progressive-filling passes executed (benchmarks / perf tests).
-        self.rebalances = 0
-        #: Times the zero-rate starvation guard had to rescue a flow.
-        self.starvation_rescues = 0
+
+    # -- stats (delegated to the shared channel core) -------------------------
+    @property
+    def rebalances(self) -> int:
+        """Progressive-filling passes executed (benchmarks / perf tests)."""
+        return self.channel.rebalances
+
+    @property
+    def starvation_rescues(self) -> int:
+        """Times the zero-rate starvation guard had to rescue a demand."""
+        return self.channel.starvation_rescues
 
     # -- link management -----------------------------------------------------
     def _nic(self, host: str, direction: str) -> Link:
         table = self._node_tx if direction == "tx" else self._node_rx
         link = table.get(host)
         if link is None:
-            link = Link(f"nic-{direction}:{host}", self.config.nic_bandwidth)
+            link = Link(f"nic-{direction}:{host}", self.config.nic_bandwidth,
+                        partition=self.topology.site_of(host))
             table[host] = link
         return link
 
@@ -197,7 +185,8 @@ class NetworkFabric:
         table = self._site_tx if direction == "tx" else self._site_rx
         link = table.get(site)
         if link is None:
-            link = Link(f"wan-{direction}:{site}", self.config.site_uplink_bandwidth)
+            link = Link(f"wan-{direction}:{site}",
+                        self.config.site_uplink_bandwidth, partition=site)
             table[site] = link
         return link
 
@@ -232,18 +221,39 @@ class NetworkFabric:
             return self.config.intra_site_latency
         return self.config.inter_site_latency
 
-    def transfer(self, src: str, dst: str, nbytes: float) -> Event:
+    def transfer(self, src: str, dst: str, nbytes: float,
+                 extra_constraints: Optional[Sequence[Constraint]] = None,
+                 validate: Optional[Callable[[], bool]] = None) -> Event:
         """Move ``nbytes`` from ``src`` to ``dst``.
 
         Returns an event that succeeds (value = the :class:`Flow`) when the
         last byte lands, or fails with :class:`TransferFailed` if an
-        endpoint is torn down mid-transfer.  Loopback transfers complete
+        endpoint is torn down mid-transfer.
+
+        ``extra_constraints`` jointly rate-limits the stream by additional
+        resources (source disk read, destination disk write): the flow
+        drains at the max-min share of its *whole* constraint set, which
+        models streaming (disk and network overlapped), not
+        store-and-forward.  Loopback transfers skip the network but still
+        drain through any extra constraints; without extras they complete
         after zero network time.
+
+        ``validate`` is re-checked when the setup (latency/handshake)
+        phase ends: if it returns False the transfer fails instead of
+        entering the fluid phase.  Joint streams use it to close the
+        wipe-during-setup window — a disk death is otherwise only visible
+        to demands already registered on its constraints.
         """
         if nbytes < 0:
             raise ValueError(f"cannot transfer {nbytes!r} bytes")
         done = self.sim.event()
         if src == dst or nbytes == 0:
+            if nbytes > 0 and extra_constraints:
+                # Local stream: disk-limited only.
+                flow = self._make_flow(src, dst, nbytes,
+                                       list(extra_constraints), done)
+                self._begin(flow, delay=0.0, validate=validate)
+                return done
             done.succeed(None)
             return done
 
@@ -252,40 +262,69 @@ class NetworkFabric:
             self.bytes_intra_site += nbytes
         else:
             self.bytes_inter_site += nbytes
+        if extra_constraints:
+            links = links + list(extra_constraints)
 
+        flow = self._make_flow(src, dst, nbytes, links, done)
+        self._begin(flow, delay=self._setup_delay(src, dst), validate=validate)
+        return done
+
+    def _make_flow(self, src: str, dst: str, nbytes: float,
+                   links: List[Constraint], done: Event) -> Flow:
         self._flow_counter += 1
-        flow = Flow(self._flow_counter, src, dst, nbytes, links, done, self.sim.now)
-        delay = self._setup_delay(src, dst)
+        flow = Flow(self._flow_counter, src, dst, nbytes, links, done,
+                    self.sim.now)
+        flow.on_exit = self._flow_exited
+        return flow
+
+    def _begin(self, flow: Flow, delay: float,
+               validate: Optional[Callable[[], bool]] = None) -> None:
+        """Run the setup (latency/handshake) phase, then enter the fluid
+        phase on the shared channel."""
         # Index the setup-phase transfer so endpoint death during the
         # latency/handshake window aborts it instead of letting it start
         # and "deliver" bytes to a dead host.
-        self._pending_by_host.setdefault(src, set()).add(flow)
-        self._pending_by_host.setdefault(dst, set()).add(flow)
+        self._pending_by_host.setdefault(flow.src, {})[flow] = None
+        self._pending_by_host.setdefault(flow.dst, {})[flow] = None
 
         def start(_ev: Event) -> None:
             self._unindex_pending(flow)
-            if done.triggered:  # aborted during the latency phase
+            if flow.done.triggered:  # aborted during the latency phase
                 return
-            self._flows.add(flow)
+            if validate is not None and not validate():
+                flow.done.fail(TransferFailed(
+                    f"stream precondition lost while setting up {flow!r}"))
+                flow.done.defused()
+                return
+            self._flows[flow] = None
             nflows = len(self._flows)
             if nflows > self.peak_flows:
                 self.peak_flows = nflows
-            self._flows_by_host.setdefault(src, set()).add(flow)
-            self._flows_by_host.setdefault(dst, set()).add(flow)
-            flow._last_update = self.sim.now
-            for link in links:
-                link.flows.add(flow)
-            self._dirty_links.update(links)
-            self._mark_dirty()
+            self._flows_by_host.setdefault(flow.src, {})[flow] = None
+            self._flows_by_host.setdefault(flow.dst, {})[flow] = None
+            self.channel.start(flow)
 
-        self.sim.timeout(delay).callbacks.append(start)
-        return done
+        if delay > 0.0:
+            self.sim.timeout(delay).callbacks.append(start)
+        else:
+            self.sim.wakeup_at(self.sim.now).callbacks.append(start)
+
+    def _flow_exited(self, demand: Demand) -> None:
+        """Channel exit hook: tear down the fabric-side indexes."""
+        flow: Flow = demand  # type: ignore[assignment]
+        self._flows.pop(flow, None)
+        for host in (flow.src, flow.dst):
+            bucket = self._flows_by_host.get(host)
+            if bucket is not None:
+                bucket.pop(flow, None)
+                if not bucket:
+                    del self._flows_by_host[host]
 
     def _unindex_pending(self, flow: Flow) -> None:
         for host in (flow.src, flow.dst):
             bucket = self._pending_by_host.get(host)
             if bucket is not None:
-                bucket.discard(flow)
+                bucket.pop(flow, None)
                 if not bucket:
                     del self._pending_by_host[host]
 
@@ -294,6 +333,22 @@ class NetworkFabric:
         lat = self.latency(src, dst)
         return (lat + self.config.connection_overhead
                 + self.config.handshake_rtts * 2.0 * lat)
+
+    def serve_stream(self, src: str, dst: str, nbytes: float, disk) -> Event:
+        """Stream ``nbytes`` read from ``src``'s disk to ``dst``.
+
+        With the normal wiring (the disk shares this fabric's channel)
+        this is ONE jointly-constrained demand over the disk read, the
+        NICs, and (cross-site) the WAN legs.  A standalone disk falls
+        back to overlapped disk read + transfer: the elapsed time is the
+        slower of the two.  Both shapes fail if the disk read or any
+        network leg fails."""
+        if disk.shares_channel_with(self):
+            return self.transfer(src, dst, nbytes,
+                                 extra_constraints=(disk.read_constraint,),
+                                 validate=lambda: disk.alive)
+        return self.sim.all_of([disk.read(nbytes),
+                                self.transfer(src, dst, nbytes)])
 
     def transfer_time_estimate(self, src: str, dst: str, nbytes: float) -> float:
         """Uncontended lower-bound duration of a transfer (for planning)."""
@@ -309,10 +364,8 @@ class NetworkFabric:
         number of aborted transfers."""
         victims = list(self._flows_by_host.get(host, ()))
         for flow in victims:
-            self._remove_flow(flow)
-            if not flow.done.triggered:
-                flow.done.fail(TransferFailed(f"endpoint {host} lost during {flow!r}"))
-                flow.done.defused()  # callers may not be listening anymore
+            self.channel.abort(
+                flow, TransferFailed(f"endpoint {host} lost during {flow!r}"))
         pending = list(self._pending_by_host.get(host, ()))
         for flow in pending:
             self._unindex_pending(flow)
@@ -326,270 +379,3 @@ class NetworkFabric:
     def active_flows(self) -> int:
         """Number of in-flight flows (fluid phase)."""
         return len(self._flows)
-
-    # -- fluid dynamics -----------------------------------------------------------
-    def _mark_dirty(self) -> None:
-        """Schedule a single rebalance at the current timestamp.
-
-        Batching matters: heartbeat-driven scheduling starts many flows in
-        the same instant, and one progressive-filling pass covers them all.
-        """
-        if self._rebalance_scheduled:
-            return
-        self._rebalance_scheduled = True
-
-        def do(_ev: Event) -> None:
-            self._rebalance_scheduled = False
-            self._rebalance()
-
-        self.sim.timeout(0.0).callbacks.append(do)
-
-    @staticmethod
-    def _advance_flow(flow: Flow, now: float) -> None:
-        """Drain one flow's bytes according to its current rate up to `now`."""
-        dt = now - flow._last_update
-        if dt > 0 and flow.rate > 0:
-            flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
-        flow._last_update = now
-
-    def _rebalance(self) -> None:
-        """Progressive filling over the affected component only: compute
-        max-min fair rates, rescheduling timers just for flows whose rate
-        actually changed.
-
-        The component walk (connected flows over shared links, seeded from
-        the dirty links) is fused with progress advancement: each flow is
-        drained up to `now` the moment the walk discovers it.  Link-disjoint
-        flow sets are skipped entirely — their max-min rates are unaffected
-        by the change, and their completion timers stay valid."""
-        if not self._dirty_links:
-            return
-        self.rebalances += 1
-        now = self.sim.now
-        eps = self.EPSILON
-
-        affected: Set[Flow] = set()
-        links_seen: Set[Link] = set(self._dirty_links)
-        links = list(links_seen)
-        drained: List[Flow] = []
-        frontier: List[Flow] = []
-        extend = frontier.extend
-        pop = frontier.pop
-        add_flow = affected.add
-        add_link = links_seen.add
-        push_link = links.append
-        for link in links:
-            extend(link.flows)
-        while frontier:
-            flow = pop()
-            if flow in affected:
-                continue
-            add_flow(flow)
-            dt = now - flow._last_update
-            if dt > 0.0 and flow.rate > 0.0:
-                rem = flow.remaining - flow.rate * dt
-                flow.remaining = rem if rem > 0.0 else 0.0
-            flow._last_update = now
-            if flow.remaining <= eps:
-                drained.append(flow)
-            for link in flow.links:
-                if link not in links_seen:
-                    add_link(link)
-                    push_link(link)
-                    extend(link.flows)
-        self._dirty_links.clear()
-
-        # Complete any flows that drained exactly at this instant.  Their
-        # links stay in scope (co-flows are already in `affected`), so the
-        # freed capacity is redistributed by this same pass.
-        for flow in drained:
-            affected.discard(flow)
-            self._remove_flow(flow, requeue=False)
-            if not flow.done.triggered:
-                flow.done.succeed(flow)
-
-        if not affected:
-            return
-
-        # Every flow on a component link is in `affected` (closure), so the
-        # per-link unfrozen count is just the link's live flow count — no
-        # per-flow build loop needed.
-        ucount: Dict[Link, int] = {}
-        heap = []
-        seq = 0
-        for link in links:
-            n = len(link.flows)
-            if n:
-                ucount[link] = n
-                heap.append((link.capacity / n, seq, link))
-                seq += 1
-
-        # Single-bottleneck fast path: when the minimum-share link carries
-        # *every* component flow, round one of progressive filling freezes
-        # the whole component at that share.  Arm ONE group timer on the
-        # link (aimed at the earliest finish) instead of per-flow timers —
-        # this is what keeps a 1000-flow flood through one NIC (the glidein
-        # package downloads, reducer fan-in) at O(1) timers per change
-        # instead of O(flows).
-        best_share, _, best_link = min(heap)
-        if ucount[best_link] == len(affected):
-            min_remaining = float("inf")
-            for flow in affected:
-                flow.rate = best_share
-                if flow.remaining < min_remaining:
-                    min_remaining = flow.remaining
-            self._arm_group_timer(best_link, min_remaining / best_share)
-            return
-
-        # Progressive filling.  Per-link residual capacity and unfrozen
-        # counts (no per-pass flow sets — freezing is recorded by stamping
-        # the flow with this pass's id) plus a lazy min-heap of
-        # (fair share, link) candidates.  Heap entries self-validate on
-        # pop: shares only grow as competitors freeze, so a stale entry is
-        # re-pushed with its recomputed share.
-        pid = self.rebalances  # this pass's fill-mark stamp
-        residual: Dict[Link, float] = {link: link.capacity for link in ucount}
-        heapq.heapify(heap)
-
-        remaining_flows = len(affected)
-        while remaining_flows > 0 and heap:
-            share, _, link = heapq.heappop(heap)
-            n = ucount[link]
-            if n == 0:
-                continue  # all this link's flows froze via other links
-            cur = residual[link] / n
-            if cur > share:
-                heapq.heappush(heap, (cur, seq, link))
-                seq += 1
-                continue  # stale entry: competitors froze since the push
-            if cur <= 0.0:
-                # Degenerate residual (floating-point underflow after many
-                # freeze rounds).  A zero rate would strand the flow with
-                # no completion timer; fall back to an exactly recomputed
-                # residual, or a plain fair split of the link (the
-                # oversubscription is bounded by the rounding residue).
-                frozen_sum = 0.0
-                unfrozen = 0
-                for f in link.flows:
-                    if f._fill_mark == pid:
-                        frozen_sum += f.rate
-                    else:
-                        unfrozen += 1
-                exact = link.capacity - frozen_sum
-                if exact > 0.0:
-                    cur = exact / unfrozen
-                else:
-                    cur = link.capacity / len(link.flows)
-                self.starvation_rescues += unfrozen
-            best_share = cur
-            for flow in link.flows:
-                if flow._fill_mark == pid:
-                    continue
-                flow._fill_mark = pid
-                flow.rate = best_share
-                # Keep-aware re-arm: a live timer firing at or before the
-                # new completion time re-aims itself; only a flow that
-                # would otherwise finish late needs a fresh timer.
-                armed = flow._timer_at
-                if armed is None or armed > now + flow.remaining / best_share:
-                    self._schedule_completion(flow)
-                remaining_flows -= 1
-                for l2 in flow.links:
-                    r = residual[l2] - best_share
-                    residual[l2] = r if r > 0.0 else 0.0
-                    ucount[l2] -= 1
-
-    def _arm_group_timer(self, link: Link, eta: float) -> None:
-        """One timer for a whole single-bottleneck flow group.
-
-        Fires at the group's earliest completion and simply marks the link
-        dirty: the resulting pass drains whatever finished, re-rates the
-        survivors, and re-arms.  The cascade finishes every flow at its
-        exact completion instant with one timer per change instead of one
-        per flow."""
-        link.group_version += 1
-        version = link.group_version
-
-        def on_fire(_ev: Event) -> None:
-            if link.group_version != version or not link.flows:
-                return
-            self._dirty_links.add(link)
-            self._mark_dirty()
-
-        self.sim.timeout(eta if eta > 0.0 else 0.0).callbacks.append(on_fire)
-
-    def _schedule_completion(self, flow: Flow) -> None:
-        if flow.rate <= 0:
-            # Starved.  Waiting for "the next rebalance" is not enough — if
-            # no other flow ever arrives or departs there is none, and the
-            # transfer (and anyone waiting on it) hangs forever.  Force a
-            # retry pass; the filling guard above then assigns a real rate.
-            flow._timer_version += 1
-            flow._timer_at = None
-            version = flow._timer_version
-
-            def retry(_ev: Event) -> None:
-                if flow._timer_version != version or flow not in self._flows:
-                    return
-                if flow.rate > 0:
-                    return
-                self._dirty_links.update(flow.links)
-                self._mark_dirty()
-
-            self.sim.timeout(self.STARVATION_RETRY).callbacks.append(retry)
-            return
-
-        now = self.sim.now
-        fire_at = now + flow.remaining / flow.rate
-        armed = flow._timer_at
-        if armed is not None and armed <= fire_at:
-            # The live timer fires at or before the new completion time; it
-            # re-checks and re-aims on firing.  Slowing down (competitors
-            # arrived) therefore never allocates a new timer — only a
-            # speed-up (earlier finish) does.
-            return
-        flow._timer_version += 1
-        flow._timer_at = fire_at
-        version = flow._timer_version
-
-        def on_fire(_ev: Event) -> None:
-            if flow._timer_version != version or flow not in self._flows:
-                return  # stale timer: rates changed since it was set
-            flow._timer_at = None
-            self._advance_flow(flow, self.sim.now)
-            if flow.remaining <= self.EPSILON:
-                self._finish_flow(flow)
-            else:
-                # Fired early (rate dropped meanwhile) or rounding left a
-                # residue; aim again at the updated completion time.
-                self._schedule_completion(flow)
-
-        self.sim.timeout(fire_at - now).callbacks.append(on_fire)
-
-    def _finish_flow(self, flow: Flow) -> None:
-        self._remove_flow(flow)
-        if not flow.done.triggered:
-            flow.done.succeed(flow)
-
-    def _remove_flow(self, flow: Flow, requeue: bool = True) -> None:
-        """Drop a flow from every index.  ``requeue`` marks its links dirty
-        and schedules a pass so survivors can claim the freed capacity (off
-        only when called from inside a rebalance, which already has the
-        links in scope)."""
-        self._flows.discard(flow)
-        for host in (flow.src, flow.dst):
-            bucket = self._flows_by_host.get(host)
-            if bucket is not None:
-                bucket.discard(flow)
-                if not bucket:
-                    del self._flows_by_host[host]
-        flow._timer_version += 1
-        for link in flow.links:
-            link.flows.discard(flow)
-        if requeue:
-            # Only links that still carry traffic can redistribute the
-            # freed capacity; a departure from empty links needs no pass.
-            dirty = [link for link in flow.links if link.flows]
-            if dirty:
-                self._dirty_links.update(dirty)
-                self._mark_dirty()

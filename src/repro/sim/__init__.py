@@ -5,10 +5,13 @@ Public surface:
 - :class:`Simulator` — the event loop and clock.
 - :class:`Event`, :class:`Timeout`, :class:`Process`, :class:`Interrupt`,
   :class:`AnyOf`, :class:`AllOf` — event primitives.
+- :class:`FairQueue`, :class:`Constraint`, :class:`Demand` — the unified
+  max-min fair shared-resource core (network + disk rate sharing).
 - :class:`RngRegistry` — reproducible named random streams.
 - :class:`StepSeries`, :class:`CounterSet`, :class:`EventLog` — measurement.
 """
 
+from .channel import Constraint, Demand, FairQueue
 from .engine import EmptySchedule, Simulator
 from .events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
 from .monitor import CounterSet, EventLog, StepSeries
@@ -17,6 +20,9 @@ from .rng import RngRegistry
 __all__ = [
     "Simulator",
     "EmptySchedule",
+    "FairQueue",
+    "Constraint",
+    "Demand",
     "Event",
     "Timeout",
     "Process",

@@ -1,0 +1,803 @@
+"""Unified max-min fair shared-resource core.
+
+Every rate-limited byte stream in the simulation — network flows through
+NICs and WAN uplinks, disk reads and writes, and transfers jointly
+constrained by several of those at once — is a :class:`Demand` drained by
+one :class:`FairQueue`.  The queue computes the max-min fair allocation
+over arbitrary capacity :class:`Constraint` sets by progressive filling
+and advances time with as few timers as the allocation's structure allows.
+``net/fabric.py`` and ``storage/disk.py`` are thin adapters over this
+module; they contain no rate arithmetic of their own.
+
+Design
+------
+
+**Incremental component passes.**  A demand arrival or departure only
+re-rates the connected component of demands reachable from the
+constraints it touched (demands are vertices; sharing a constraint is an
+edge).  Components are discovered by a walk seeded from the dirty
+constraints, fused with lazy progress advancement: each demand's
+``remaining`` is drained up to *now* the moment the walk first sees it.
+Each component gets its **own** filling pass, so a batch of changes in
+two unrelated sites never merges their rate computations — and never
+defeats the fast paths below.
+
+**Per-constraint virtual clocks (uniform groups).**  When one constraint
+bottlenecks *every* demand of its component and each member's other
+constraints are private and no tighter than the bottleneck, the rates
+stay uniform for the component's whole remaining lifetime: capacity/n,
+for the live member count n.  Completion order is then fixed at group
+formation, so the constraint runs a *virtual clock* — cumulative bytes
+drained per member — and keeps members in a heap keyed by the clock
+reading at which each finishes.  One armed timer per group replaces a
+timer per demand, and — unlike a plain group timer — each completion is
+O(log n) with **no** re-filling pass: survivors speed up implicitly
+because the clock advances at capacity/n for the current n.  This is the
+multi-bottleneck generalisation of the single-timer trick the disk
+channel and the fabric's single-bottleneck path used to implement twice,
+divergently.
+
+**Group timers per bottleneck.**  Components the uniform test rejects
+(several bottlenecks, or shared side constraints) still never arm
+per-demand timers.  Progressive filling freezes each demand at exactly
+one bottleneck constraint; all demands frozen at a constraint share its
+fair share, so one timer per bottleneck — aimed at that group's earliest
+finish — wakes the component at the exact next completion instant.  The
+resulting pass drains whatever finished, re-rates survivors, and re-arms.
+A live timer that fires at or before the new target is *kept* (it
+re-checks and re-aims), so slowdowns never allocate timers.
+
+**Per-partition decoupling.**  Constraints carry an optional partition
+key (the fabric tags NICs, WAN legs, and disks with their site).  The
+queue counts, per partition, the live demands whose constraint sets span
+partition boundaries ("bridges": cross-site transfers).  While a
+partition has no bridges — its WAN links are idle — its components are
+structurally confined to the partition: :meth:`FairQueue.partition_decoupled`
+is then a guarantee, checkable in O(1), that no churn inside the site can
+re-rate (or even visit) any other site's demands.
+
+**Heap batching.**  All wake-ups go through
+:meth:`~repro.sim.engine.Simulator.wakeup_at`, so the many groups that
+finish at the same simulated instant share a single event-heap entry.
+
+Same-instant changes batch into one scheduled pass (`_mark_dirty`), and
+completions that land exactly on a pass's timestamp are drained by that
+pass directly — their freed capacity is redistributed without another
+event.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .engine import Simulator
+from .events import Event
+
+__all__ = ["Constraint", "Demand", "FairQueue"]
+
+
+class Constraint:
+    """A capacity-constrained shared resource (NIC direction, WAN leg,
+    disk channel, ...)."""
+
+    __slots__ = ("name", "capacity", "partition", "demands", "group",
+                 "_timer_at", "_timer_version", "_visit", "_residual",
+                 "_ucount", "_bound_sum", "_unbounded", "_slack_below")
+
+    def __init__(self, name: str, capacity: float,
+                 partition: Optional[str] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"constraint {name!r} needs positive capacity")
+        self.name = name
+        self.capacity = float(capacity)
+        #: Optional decoupling key (the fabric uses the site name).
+        self.partition = partition
+        #: Demands currently draining through this constraint (an
+        #: insertion-ordered dict used as a set: iteration order must not
+        #: depend on the interpreter's hash seed, or runs stop being
+        #: reproducible).
+        self.demands: Dict["Demand", None] = {}
+        #: Live uniform group whose span includes this constraint, if any.
+        self.group: Optional["_UniformGroup"] = None
+        #: Absolute sim time of the live bottleneck group timer (None if none).
+        self._timer_at: Optional[float] = None
+        self._timer_version = 0
+        #: Walk stamp (see FairQueue._rebalance) — avoids per-pass sets.
+        self._visit = 0
+        #: Per-pass progressive-filling scratch (valid only mid-pass).
+        self._residual = 0.0
+        self._ucount = 0
+        #: Σ over live demands of each demand's tightest *other* capacity
+        #: — an upper bound on the traffic this constraint can ever see.
+        #: While it stays (strictly, with margin) below `capacity` the
+        #: constraint is provably slack: it cannot bind in any max-min
+        #: allocation, so component walks skip it entirely.  This is what
+        #: keeps an under-subscribed WAN leg from chaining two sites'
+        #: components together.
+        self._bound_sum = 0.0
+        #: Live demands whose bound through here is unbounded (their only
+        #: constraint) — any such demand disables the slack shortcut.
+        self._unbounded = 0
+        #: Slack test threshold: capacity minus a relative safety margin
+        #: (guards float drift in the running sum; the margin errs toward
+        #: treating a constraint as binding, which is always correct).
+        self._slack_below = self.capacity * (1.0 - 1e-9)
+
+    @property
+    def slack(self) -> bool:
+        """True while this constraint provably cannot bind (see above)."""
+        return self._unbounded == 0 and self._bound_sum < self._slack_below
+
+    def __repr__(self) -> str:
+        return (f"<Constraint {self.name} cap={self.capacity:g} "
+                f"demands={len(self.demands)}>")
+
+
+class Demand:
+    """One in-flight piece of work draining through a set of constraints."""
+
+    __slots__ = ("size", "remaining", "rate", "constraints", "done",
+                 "_last_update", "_fill_mark", "_group", "_group_key",
+                 "_retry_version", "_visit", "_min_other", "on_exit")
+
+    def __init__(self, size: float, constraints: Sequence[Constraint],
+                 done: Event, now: float) -> None:
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.constraints: Tuple[Constraint, ...] = tuple(constraints)
+        # Per-constraint rate upper bound from the *other* constraints
+        # (inf for a sole constraint) — feeds the slack shortcut.
+        caps = [c.capacity for c in self.constraints]
+        if len(caps) == 1:
+            self._min_other = (float("inf"),)
+        else:
+            idx = caps.index(min(caps))
+            second = min(caps[:idx] + caps[idx + 1:])
+            self._min_other = tuple(
+                second if i == idx else caps[idx]
+                for i in range(len(caps)))
+        self.done = done
+        self._last_update = now
+        #: Progressive-filling pass id this demand was last frozen in.
+        self._fill_mark = 0
+        #: Uniform group membership (virtual-clock mode), if any.
+        self._group: Optional["_UniformGroup"] = None
+        #: Virtual-clock reading at which this demand drains (group mode).
+        self._group_key = 0.0
+        self._retry_version = 0
+        #: Walk stamp (see FairQueue._rebalance).
+        self._visit = 0
+        #: Adapter hook called once when the demand leaves the queue for
+        #: any reason (completion or abort) — index teardown lives here.
+        self.on_exit: Optional[Callable[["Demand"], None]] = None
+
+    def remaining_now(self, now: float) -> float:
+        """Bytes left at time ``now``, accounting for lazy advancement and
+        virtual-clock (group) mode — `remaining` itself is only exact at
+        the instant of the last pass that visited this demand."""
+        group = self._group
+        if group is not None:
+            drained = group.drained
+            if group.members and now > group.clock_at:
+                drained += (group.constraint.capacity / len(group.members)
+                            * (now - group.clock_at))
+            return max(0.0, self._group_key - drained)
+        left = self.remaining
+        dt = now - self._last_update
+        if dt > 0.0 and self.rate > 0.0:
+            left -= self.rate * dt
+        return max(0.0, left)
+
+    def __repr__(self) -> str:
+        return (f"<Demand {self.remaining:.0f}/{self.size:.0f}B "
+                f"@{self.rate:g}B/s x{len(self.constraints)}>")
+
+
+class _UniformGroup:
+    """Virtual-clock mode for a single-bottleneck component.
+
+    All members drain at ``capacity / len(members)``; the clock counts
+    cumulative bytes drained per member, and a member finishes when the
+    clock passes its formation-time key.  Valid only while the invariant
+    holds that no member can be re-rated by anything except membership
+    changes of this very group — the queue dissolves the group the moment
+    any constraint in its span is marked dirty.
+    """
+
+    __slots__ = ("queue", "constraint", "members", "heap", "drained",
+                 "clock_at", "armed_at", "version", "span")
+
+    def __init__(self, queue: "FairQueue", constraint: Constraint,
+                 members: Dict[Demand, None],
+                 span: List[Constraint]) -> None:
+        self.queue = queue
+        self.constraint = constraint
+        self.members = members
+        self.drained = 0.0
+        self.clock_at = queue.sim.now
+        self.armed_at: Optional[float] = None
+        self.version = 0
+        #: Every constraint touched by any member; all point back here so
+        #: dirt anywhere in the span dissolves the group first.
+        self.span = span
+        heap = []
+        seq = 0
+        for d in members:
+            d._group = self
+            d._group_key = d.remaining
+            heap.append((d.remaining, seq, d))
+            seq += 1
+        heapq.heapify(heap)
+        self.heap = heap
+        for c in span:
+            c.group = self
+
+    def _advance(self) -> None:
+        now = self.queue.sim.now
+        if self.members and now > self.clock_at:
+            self.drained += (self.constraint.capacity / len(self.members)
+                             * (now - self.clock_at))
+        self.clock_at = now
+
+    def share(self) -> float:
+        """Current per-member fair share."""
+        return self.constraint.capacity / len(self.members)
+
+    def dissolve(self) -> None:
+        """Materialise member state and fall back to generic mode.
+
+        Rates and ``remaining`` are snapshot at *now* so the next filling
+        pass (whoever marked us dirty schedules one) starts exact."""
+        self._advance()
+        self.version += 1
+        share = (self.constraint.capacity / len(self.members)
+                 if self.members else 0.0)
+        now = self.queue.sim.now
+        for d in self.members:
+            d.remaining = max(0.0, d._group_key - self.drained)
+            d.rate = share
+            d._last_update = now
+            d._group = None
+        for c in self.span:
+            if c.group is self:
+                c.group = None
+        self.members = {}
+        self.heap = []
+
+    def remove(self, demand: Demand) -> None:
+        """A member was aborted externally: dissolve (rare path)."""
+        self.dissolve()
+        for c in demand.constraints:
+            self.queue._dirty[c] = None
+        self.queue._mark_dirty()
+
+    def rearm(self) -> None:
+        """Aim the group's single wake-up at the earliest finish."""
+        heap, members = self.heap, self.members
+        while heap and heap[0][2] not in members:
+            heapq.heappop(heap)
+        if not heap:
+            self.armed_at = None
+            return
+        eta = max(0.0, (heap[0][0] - self.drained)
+                  * len(members) / self.constraint.capacity)
+        fire_at = self.queue.sim.now + eta
+        if self.armed_at is not None and self.armed_at <= fire_at:
+            return  # the live wake-up fires first and will re-aim
+        self.armed_at = fire_at
+        version = self.version
+
+        def on_fire(_ev: Event) -> None:
+            if self.version != version or self.armed_at != fire_at:
+                return
+            self.armed_at = None
+            self._tick()
+
+        self.queue.sim.wakeup_at(fire_at).callbacks.append(on_fire)
+
+    def _tick(self) -> None:
+        """Clock wake-up: complete every member the clock has passed."""
+        self._advance()
+        queue = self.queue
+        eps = queue.EPSILON
+        heap, members = self.heap, self.members
+        while heap and heap[0][0] <= self.drained + eps:
+            d = heapq.heappop(heap)[2]
+            if d not in members:
+                continue
+            members.pop(d, None)
+            d._group = None
+            d.remaining = 0.0
+            queue.uniform_completions += 1
+            queue._unregister(d)
+            if not d.done.triggered:
+                d.done.succeed(d)
+        if members:
+            self.rearm()
+        else:
+            self.version += 1
+            for c in self.span:
+                if c.group is self:
+                    c.group = None
+
+
+class FairQueue:
+    """The shared max-min fair drain engine (see module docstring)."""
+
+    #: Residual bytes below which a demand counts as drained (guards
+    #: against floating-point residue stranding nearly-done work).
+    EPSILON = 1e-3
+
+    #: How long a starved demand (rate pinned to zero by a degenerate
+    #: filling pass) waits before forcing another pass.
+    STARVATION_RETRY = 1.0
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._live: Set[Demand] = set()
+        #: Constraints whose demand set changed since the last pass
+        #: (insertion-ordered for reproducible component ordering).
+        self._dirty: Dict[Constraint, None] = {}
+        self._pass_scheduled = False
+        self._walk_id = 0
+        #: live demands per partition key.
+        self._partition_demands: Dict[str, int] = {}
+        #: live partition-spanning demands per partition key.
+        self._bridges: Dict[str, int] = {}
+        # -- stats (benchmarks / tests) --
+        #: Filling passes executed (one per dirty component).
+        self.rebalances = 0
+        #: Times the zero-rate starvation guard had to rescue a demand.
+        self.starvation_rescues = 0
+        #: Uniform (virtual-clock) groups formed.
+        self.uniform_groups = 0
+        #: Demands completed by a group clock without a filling pass.
+        self.uniform_completions = 0
+        #: Filling passes whose component spanned >1 partition.
+        self.cross_partition_passes = 0
+        #: Highwater mark of concurrent live demands.
+        self.peak_demands = 0
+
+    # -- construction ---------------------------------------------------------
+    def constraint(self, name: str, capacity: float,
+                   partition: Optional[str] = None) -> Constraint:
+        """Create a constraint owned by this queue."""
+        return Constraint(name, capacity, partition)
+
+    # -- demand lifecycle -----------------------------------------------------
+    def submit(self, size: float, constraints: Sequence[Constraint],
+               done: Optional[Event] = None) -> Demand:
+        """Start draining ``size`` bytes through ``constraints``.
+
+        The returned demand's ``done`` event succeeds (value = the demand)
+        when the last byte drains.  Zero-byte demands complete immediately.
+        """
+        if size < 0:
+            raise ValueError(f"cannot drain {size!r} bytes")
+        if done is None:
+            done = self.sim.event()
+        demand = Demand(size, constraints, done, self.sim.now)
+        if size == 0 or not demand.constraints:
+            done.succeed(demand)
+            return demand
+        self.start(demand)
+        return demand
+
+    def request(self, size: float, constraints: Sequence[Constraint]) -> Event:
+        """Like :meth:`submit` but returns just the completion event."""
+        return self.submit(size, constraints).done
+
+    def start(self, demand: Demand) -> None:
+        """Enter a pre-built demand into the fluid phase."""
+        self._live.add(demand)
+        n = len(self._live)
+        if n > self.peak_demands:
+            self.peak_demands = n
+        demand._last_update = self.sim.now
+        bounds = demand._min_other
+        for i, c in enumerate(demand.constraints):
+            c.demands[demand] = None
+            b = bounds[i]
+            if b == float("inf"):
+                c._unbounded += 1
+            else:
+                c._bound_sum += b
+        self._account_partitions(demand, +1)
+        for c in demand.constraints:
+            self._dirty[c] = None
+        self._mark_dirty()
+
+    def _account_partitions(self, demand: Demand, delta: int) -> None:
+        """Maintain per-partition demand and bridge counts.
+
+        A demand is a *bridge* for partition p when its constraint set is
+        not wholly contained in p (it spans partitions, or touches an
+        unpartitioned constraint) — while any bridge is live, p's
+        decoupling guarantee is off."""
+        first: Optional[str] = None
+        extra: Optional[List[str]] = None
+        bridged = False
+        for c in demand.constraints:
+            p = c.partition
+            if p is None:
+                bridged = True
+            elif first is None:
+                first = p
+            elif p != first:
+                bridged = True
+                if extra is None:
+                    extra = [p]
+                elif p not in extra:
+                    extra.append(p)
+        if first is None:
+            return
+        parts = [first] if extra is None else [first] + extra
+        for p in parts:
+            n = self._partition_demands.get(p, 0) + delta
+            if n > 0:
+                self._partition_demands[p] = n
+            else:
+                self._partition_demands.pop(p, None)
+            if bridged:
+                b = self._bridges.get(p, 0) + delta
+                if b > 0:
+                    self._bridges[p] = b
+                else:
+                    self._bridges.pop(p, None)
+
+    def _unregister(self, demand: Demand) -> None:
+        """Shared teardown: indexes, partition accounting, adapter hook."""
+        self._live.discard(demand)
+        bounds = demand._min_other
+        for i, c in enumerate(demand.constraints):
+            c.demands.pop(demand, None)
+            b = bounds[i]
+            if b == float("inf"):
+                c._unbounded -= 1
+            else:
+                c._bound_sum -= b
+                if not c.demands:
+                    c._bound_sum = 0.0  # reset float drift at idle
+        self._account_partitions(demand, -1)
+        demand._retry_version += 1
+        if demand.on_exit is not None:
+            demand.on_exit(demand)
+
+    def remove(self, demand: Demand, requeue: bool = True) -> None:
+        """Drop a live demand.  ``requeue`` marks its constraints dirty so
+        survivors claim the freed capacity (off only when called from
+        inside a pass, which already has them in scope)."""
+        if demand._group is not None:
+            demand._group.remove(demand)
+            self._unregister(demand)
+            return
+        self._unregister(demand)
+        if requeue:
+            dirty = False
+            for c in demand.constraints:
+                if c.demands:
+                    self._dirty[c] = None
+                    dirty = True
+            if dirty:
+                self._mark_dirty()
+
+    def abort(self, demand: Demand, exc: Exception) -> None:
+        """Fail a live demand with ``exc`` (endpoint death, wiped disk)."""
+        if demand not in self._live:
+            return
+        self.remove(demand)
+        if not demand.done.triggered:
+            demand.done.fail(exc)
+            demand.done.defused()  # callers may not be listening anymore
+
+    def abort_constraint(self, constraint: Constraint, exc: Exception) -> int:
+        """Fail every live demand touching ``constraint``; returns count."""
+        victims = list(constraint.demands)  # dict keys, insertion order
+        for d in victims:
+            self.abort(d, exc)
+        return len(victims)
+
+    @property
+    def active_demands(self) -> int:
+        """Number of demands currently draining."""
+        return len(self._live)
+
+    def partition_decoupled(self, partition: str) -> bool:
+        """True while no live demand bridges ``partition`` to anything
+        outside it — churn inside the partition then provably cannot
+        touch any other partition's rates."""
+        return self._bridges.get(partition, 0) == 0
+
+    # -- fluid dynamics -------------------------------------------------------
+    def _mark_dirty(self) -> None:
+        """Schedule a single pass at the current timestamp.  Batching
+        matters: heartbeat-driven scheduling starts many demands in the
+        same instant, and one pass per component covers them all."""
+        if self._pass_scheduled:
+            return
+        self._pass_scheduled = True
+
+        def do(_ev: Event) -> None:
+            self._pass_scheduled = False
+            self._rebalance()
+
+        self.sim.wakeup_at(self.sim.now).callbacks.append(do)
+
+    def ensure_progress(self, demand: Demand) -> None:
+        """Starvation guard: a demand left with ``rate <= 0`` and no live
+        group/bottleneck timer would hang forever if no other demand ever
+        arrived or departed.  Arm a retry that forces a fresh pass."""
+        if demand.rate > 0 or demand._group is not None:
+            return
+        demand._retry_version += 1
+        version = demand._retry_version
+
+        def retry(_ev: Event) -> None:
+            if demand._retry_version != version or demand not in self._live:
+                return
+            if demand.rate > 0:
+                return
+            for c in demand.constraints:
+                self._dirty[c] = None
+            self._mark_dirty()
+
+        self.sim.wakeup_at(self.sim.now + self.STARVATION_RETRY) \
+            .callbacks.append(retry)
+
+    def _rebalance(self) -> None:
+        """Re-rate every component reachable from the dirty constraints.
+
+        Each component is walked, advanced, drained, and progressively
+        filled *independently*, so a same-instant batch of changes across
+        decoupled sites runs one small pass per site — and each pass can
+        still hit the uniform fast path.  Visiting is recorded by stamping
+        demands/constraints with a batch id (no per-pass hash sets)."""
+        if not self._dirty:
+            return
+        # Dissolve uniform groups whose span got dirtied: their members
+        # re-enter generic filling with exact remaining/rate snapshots.
+        for c in list(self._dirty):
+            if c.group is not None:
+                c.group.dissolve()
+        seeds, self._dirty = self._dirty, {}
+        self._walk_id += 1
+        wid = self._walk_id
+        for seed in seeds:
+            # Seed from the constraint's demands (copy: drained demands
+            # unregister mid-fill): a slack seed is never traversed, but
+            # each of its demands has at least one binding constraint, so
+            # its component is still found and re-rated.
+            if seed.demands:
+                for d in list(seed.demands):
+                    if d._visit != wid:
+                        self._fill_component(d, wid)
+
+    def _fill_component(self, start: Demand, wid: int) -> None:
+        """Walk one component from ``start`` and re-rate it."""
+        self.rebalances += 1
+        now = self.sim.now
+        eps = self.EPSILON
+
+        affected: List[Demand] = []
+        links: List[Constraint] = []
+        drained: List[Demand] = []
+        # Demands are stamped at push time, so each is pushed exactly once.
+        start._visit = wid
+        stack: List[Demand] = [start]
+        pop = stack.pop
+        push = stack.append
+        add_demand = affected.append
+        push_link = links.append
+        multi_partition = False
+        first_partition: Optional[str] = None
+        while stack:
+            d = pop()
+            # Fused lazy advance: drain up to `now` on first discovery.
+            dt = now - d._last_update
+            if dt > 0.0 and d.rate > 0.0:
+                rem = d.remaining - d.rate * dt
+                d.remaining = rem if rem > 0.0 else 0.0
+            d._last_update = now
+            if d.remaining <= eps:
+                drained.append(d)
+            else:
+                add_demand(d)
+            for c in d.constraints:
+                if c._visit != wid:
+                    if c._unbounded == 0 and c._bound_sum < c._slack_below:
+                        # Provably slack (total possible traffic below
+                        # capacity): cannot bind, so it neither rates nor
+                        # couples — do NOT chain components through it.
+                        continue
+                    c._visit = wid
+                    push_link(c)
+                    p = c.partition
+                    if p is not None and p != first_partition:
+                        if first_partition is None:
+                            first_partition = p
+                        else:
+                            multi_partition = True
+                    for d2 in c.demands:
+                        if d2._visit != wid:
+                            d2._visit = wid
+                            push(d2)
+        if multi_partition:
+            self.cross_partition_passes += 1
+
+        # Complete demands that drained exactly at this instant.  Their
+        # constraints stay in scope (co-demands are already collected), so
+        # the freed capacity is redistributed by this same pass.
+        for d in drained:
+            self._unregister(d)
+            if not d.done.triggered:
+                d.done.succeed(d)
+
+        if not affected:
+            return
+
+        # Every demand on a component constraint was collected (closure),
+        # so the per-constraint unfrozen count is just its live demand
+        # count — no per-demand build loop needed.  Residuals and counts
+        # live in per-constraint scratch slots (no dict hashing).
+        heap = []
+        seq = 0
+        best_share = float("inf")
+        best: Optional[Constraint] = None
+        for c in links:
+            n = len(c.demands)
+            if n:
+                c._ucount = n
+                c._residual = c.capacity
+                share = c.capacity / n
+                heap.append((share, seq, c))
+                seq += 1
+                if share < best_share:
+                    best_share = share
+                    best = c
+
+        # Single-bottleneck fast path: when the minimum-share constraint
+        # carries *every* component demand, round one of progressive
+        # filling freezes the whole component at that share.
+        if best._ucount == len(affected):
+            min_remaining = float("inf")
+            for d in affected:
+                d.rate = best_share
+                d._fill_mark = self.rebalances  # frozen this pass
+                if d.remaining < min_remaining:
+                    min_remaining = d.remaining
+            if self._try_uniform_group(best, affected):
+                return
+            self._arm_bottleneck_timer(best, min_remaining / best_share)
+            return
+
+        self._progressive_fill(affected, heap, seq)
+
+    def _try_uniform_group(self, bottleneck: Constraint,
+                           members: List[Demand]) -> bool:
+        """Enter virtual-clock mode if the allocation stays uniform for the
+        component's whole remaining lifetime: every member's non-bottleneck
+        constraints must be private (one demand) and no tighter than the
+        bottleneck's full capacity — then even the last survivor alone is
+        still bottlenecked here, and completion order is fixed now.
+
+        The group's span covers *every* member constraint (slack ones
+        included): any dirt anywhere in the span must dissolve the group
+        before the members can be walked with stale group-mode state."""
+        cap = bottleneck.capacity
+        span: List[Constraint] = [bottleneck]
+        seen = {bottleneck}
+        for d in members:
+            for c in d.constraints:
+                if c is bottleneck:
+                    continue
+                if len(c.demands) != 1 or c.capacity < cap:
+                    return False
+                if c not in seen:
+                    seen.add(c)
+                    span.append(c)
+        self.uniform_groups += 1
+        group = _UniformGroup(self, bottleneck, dict.fromkeys(members), span)
+        group.rearm()
+        return True
+
+    def _arm_bottleneck_timer(self, constraint: Constraint,
+                              eta: float) -> None:
+        """One timer for everything frozen at one bottleneck constraint.
+
+        Fires at the group's earliest completion and marks the constraint
+        dirty: the pass drains whatever finished, re-rates survivors, and
+        re-arms.  A live timer firing at or before the target is kept —
+        it re-checks and re-aims — so slowdowns never allocate timers."""
+        now = self.sim.now
+        fire_at = now + (eta if eta > 0.0 else 0.0)
+        armed = constraint._timer_at
+        if armed is not None and armed <= fire_at:
+            return
+        constraint._timer_version += 1
+        constraint._timer_at = fire_at
+        version = constraint._timer_version
+
+        def on_fire(_ev: Event) -> None:
+            if constraint._timer_version != version:
+                return
+            constraint._timer_at = None
+            if not constraint.demands:
+                return
+            self._dirty[constraint] = None
+            self._mark_dirty()
+
+        self.sim.wakeup_at(fire_at).callbacks.append(on_fire)
+
+    def _progressive_fill(self, affected: List[Demand],
+                          heap: List[tuple], seq: int) -> None:
+        """Generic progressive filling over one multi-bottleneck component.
+
+        Per-constraint residual capacity and unfrozen counts (freezing is
+        recorded by stamping demands with this pass's id) plus a lazy
+        min-heap of (fair share, constraint) candidates.  Heap entries
+        self-validate on pop: shares only grow as competitors freeze, so a
+        stale entry is re-pushed with its recomputed share.  Instead of a
+        timer per demand, each bottleneck arms one group timer at its
+        frozen set's earliest finish."""
+        pid = self.rebalances  # this pass's fill-mark stamp
+        heapq.heapify(heap)
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+
+        remaining_demands = len(affected)
+        while remaining_demands > 0 and heap:
+            share, _, link = heappop(heap)
+            n = link._ucount
+            if n == 0:
+                continue  # all this constraint's demands froze elsewhere
+            cur = link._residual / n
+            if cur > share:
+                heappush(heap, (cur, seq, link))
+                seq += 1
+                continue  # stale entry: competitors froze since the push
+            if cur <= 0.0:
+                # Degenerate residual (floating-point underflow after many
+                # freeze rounds).  A zero rate would strand the demand with
+                # no timer; fall back to an exactly recomputed residual, or
+                # a plain fair split of the constraint (the oversubscription
+                # is bounded by the rounding residue).
+                frozen_sum = 0.0
+                unfrozen = 0
+                for d in link.demands:
+                    if d._fill_mark == pid:
+                        frozen_sum += d.rate
+                    else:
+                        unfrozen += 1
+                exact = link.capacity - frozen_sum
+                if exact > 0.0:
+                    cur = exact / unfrozen
+                else:
+                    cur = link.capacity / len(link.demands)
+                self.starvation_rescues += unfrozen
+            best_share = cur
+            min_remaining = float("inf")
+            for d in link.demands:
+                if d._fill_mark == pid:
+                    continue
+                d._fill_mark = pid
+                d.rate = best_share
+                if d.remaining < min_remaining:
+                    min_remaining = d.remaining
+                remaining_demands -= 1
+                for c2 in d.constraints:
+                    r = c2._residual - best_share
+                    c2._residual = r if r > 0.0 else 0.0
+                    c2._ucount -= 1
+            if min_remaining != float("inf"):
+                self._arm_bottleneck_timer(link, min_remaining / best_share)
+
+        if remaining_demands > 0:
+            # Belt-and-braces: the heap ran dry with unfrozen demands left
+            # (cannot happen for well-formed components, but a zero rate
+            # must never hang the simulation).
+            for d in affected:
+                if d._fill_mark != pid:
+                    d.rate = 0.0
+                    self.ensure_progress(d)

@@ -53,6 +53,8 @@ class Simulator:
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._counter = count()
         self._active_proc: Optional[Process] = None
+        #: Pending shared wake-ups by absolute timestamp (see `wakeup_at`).
+        self._wakeups: dict = {}
         #: Total events processed over the simulator's lifetime (perf metric
         #: for benchmark harnesses: events/sec of wall time).
         self.events_processed: int = 0
@@ -80,6 +82,29 @@ class Simulator:
     def process(self, generator, name: str = "") -> Process:
         """Start ``generator`` as a new simulation process."""
         return Process(self, generator, name=name)
+
+    def wakeup_at(self, when: float) -> Timeout:
+        """A *shared* timer event firing at absolute time ``when``.
+
+        All callers asking for the same timestamp before it fires get the
+        same event — and therefore share a single event-heap entry.  This
+        is what keeps same-instant completion cascades (many channel
+        groups finishing together, a batch of rebalances at one heartbeat
+        tick) at O(1) heap traffic instead of one entry per waiter.
+
+        ``when`` at or before the current time fires "now" (still
+        asynchronously, like ``timeout(0)``).  Append callbacks to the
+        returned event; do not yield it from long-lived processes that
+        might be interrupted (interrupt detach would scan the shared
+        callback list).
+        """
+        ev = self._wakeups.get(when)
+        if ev is None:
+            delay = when - self._now
+            ev = Timeout(self, delay if delay > 0.0 else 0.0)
+            self._wakeups[when] = ev
+            ev.callbacks.append(lambda _e: self._wakeups.pop(when, None))
+        return ev
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event firing when any of ``events`` fires."""

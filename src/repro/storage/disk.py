@@ -14,14 +14,20 @@ Two aspects matter for the paper:
   :meth:`Disk.probe` model exactly this.
 
 Concurrent reads (and, separately, writes) share the channel bandwidth
-equally — a single-link special case of the fabric's max-min model.
+equally.  The sharing itself is delegated to the unified max-min core in
+:mod:`repro.sim.channel`: each I/O direction is one
+:class:`~repro.sim.channel.Constraint` on a :class:`~repro.sim.channel.FairQueue`.
+A disk created with the *fabric's* queue (``channel=fabric.channel``)
+exposes :attr:`Disk.read_constraint` / :attr:`Disk.write_constraint` so
+streaming transfers (shuffle serves, HDFS reads, replication pipelines)
+can be jointly rate-limited by disk and network at once.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, Optional, Set
+from typing import Dict, Optional
 
+from ..sim.channel import Constraint, FairQueue
 from ..sim.engine import Simulator
 from ..sim.events import Event
 
@@ -34,118 +40,6 @@ class DiskFullError(Exception):
 
 class DiskIOError(Exception):
     """An I/O operation failed (working directory wiped / disk dead)."""
-
-
-class _Op:
-    """One in-flight read or write."""
-
-    __slots__ = ("key", "done")
-
-    def __init__(self, key: float, done: Event) -> None:
-        #: Channel virtual-clock reading at which this op is fully drained.
-        self.key = key
-        self.done = done
-
-
-class _FairChannel:
-    """Equal-share bandwidth channel for one I/O direction.
-
-    Because every in-flight op drains at the *same* rate, completion order
-    is fixed at submit time.  The channel therefore runs a virtual clock —
-    cumulative bytes drained per op — and keeps ops in a heap keyed by the
-    clock reading at which each finishes.  One armed timer per channel
-    replaces the per-op timer storm: a membership change just re-aims the
-    single wake-up instead of rescheduling every op.
-    """
-
-    #: Residual bytes below which an operation counts as drained (guards
-    #: against floating-point residue stranding a nearly-done op).
-    EPSILON = 1e-3
-
-    def __init__(self, sim: Simulator, rate: float) -> None:
-        self.sim = sim
-        self.rate = float(rate)
-        self._ops: Set[_Op] = set()
-        #: (finish_key, seq, op) min-heap; entries for aborted ops linger
-        #: until popped (lazy deletion).
-        self._heap: list = []
-        self._seq = 0
-        #: Bytes drained per op since the channel was created.
-        self._drained = 0.0
-        self._clock_at = sim.now
-        #: Absolute sim time of the armed wake-up (None when idle).
-        self._armed_at: Optional[float] = None
-
-    def submit(self, nbytes: float) -> Event:
-        """Start an operation of ``nbytes``; event fires when drained."""
-        done = self.sim.event()
-        if nbytes <= 0:
-            done.succeed(None)
-            return done
-        self._advance_clock()
-        op = _Op(self._drained + float(nbytes), done)
-        self._ops.add(op)
-        self._seq += 1
-        heapq.heappush(self._heap, (op.key, self._seq, op))
-        self._rearm()
-        return done
-
-    def abort_all(self, exc: Exception) -> None:
-        """Fail every in-flight operation with ``exc`` (disk wiped)."""
-        self._advance_clock()
-        for op in list(self._ops):
-            self._ops.discard(op)
-            if not op.done.triggered:
-                op.done.fail(exc)
-                op.done.defused()
-        self._heap.clear()
-
-    def _advance_clock(self) -> None:
-        """Bring the per-op drained total up to `now`."""
-        now = self.sim.now
-        if self._ops and now > self._clock_at:
-            self._drained += self.rate / len(self._ops) * (now - self._clock_at)
-        self._clock_at = now
-
-    def _drain_finished(self) -> None:
-        """Complete every op whose finish key the clock has reached."""
-        heap = self._heap
-        while heap and heap[0][0] <= self._drained + self.EPSILON:
-            op = heapq.heappop(heap)[2]
-            if op not in self._ops:
-                continue  # aborted; lazy-deleted entry
-            self._ops.discard(op)
-            if not op.done.triggered:
-                op.done.succeed(None)
-
-    def _rearm(self) -> None:
-        """Aim the channel's single wake-up at the earliest possible finish.
-
-        A wake-up that fires early (ops joined meanwhile, shares shrank) is
-        harmless: it re-checks and re-aims.  Only when the earliest finish
-        moved *earlier* than the armed time is a new timer needed."""
-        while self._heap and self._heap[0][2] not in self._ops:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            self._armed_at = None
-            return
-        eta = max(0.0, (self._heap[0][0] - self._drained)
-                  * len(self._ops) / self.rate)
-        fire_at = self.sim.now + eta
-        if self._armed_at is not None and self._armed_at <= fire_at:
-            return  # the armed wake-up fires first and will re-aim
-
-        self._armed_at = fire_at
-
-        def on_fire(_ev: Event) -> None:
-            if self._armed_at != fire_at:
-                return  # superseded by an earlier wake-up
-            self._armed_at = None
-            self._advance_clock()
-            self._drain_finished()
-            self._rearm()
-
-        self.sim.timeout(eta).callbacks.append(on_fire)
 
 
 class Disk:
@@ -162,19 +56,42 @@ class Disk:
     read_rate / write_rate:
         Sequential bandwidth in bytes/second (defaults ≈ a 2012-era
         commodity SATA drive).
+    channel:
+        The :class:`~repro.sim.channel.FairQueue` to drain I/O through.
+        Pass the network fabric's queue to enable joint disk+network
+        rate limiting; defaults to a private queue.
+    partition:
+        Optional decoupling key for the disk's constraints (the site
+        name, matching the fabric's link partitions).
     """
 
     def __init__(self, sim: Simulator, host: str, capacity: float,
-                 read_rate: float = 90e6, write_rate: float = 70e6) -> None:
+                 read_rate: float = 90e6, write_rate: float = 70e6,
+                 channel: Optional[FairQueue] = None,
+                 partition: Optional[str] = None) -> None:
         if capacity <= 0:
             raise ValueError("disk capacity must be positive")
+        if read_rate <= 0 or write_rate <= 0:
+            raise ValueError("disk I/O rates must be positive")
         self.sim = sim
         self.host = host
         self.capacity = float(capacity)
         self._usage: Dict[str, float] = {}
-        self._reads = _FairChannel(sim, read_rate)
-        self._writes = _FairChannel(sim, write_rate)
+        self.channel = channel or FairQueue(sim)
+        #: Read-direction bandwidth constraint — share it with the fabric
+        #: (``extra_constraints``) for disk-limited streaming sends.
+        self.read_constraint: Constraint = self.channel.constraint(
+            f"disk-read:{host}", read_rate, partition)
+        #: Write-direction bandwidth constraint (streaming receives).
+        self.write_constraint: Constraint = self.channel.constraint(
+            f"disk-write:{host}", write_rate, partition)
         self._alive = True
+
+    def shares_channel_with(self, other) -> bool:
+        """True when ``other`` (a fabric or disk) drains through the same
+        :class:`~repro.sim.channel.FairQueue`, i.e. joint disk+network
+        demands are possible."""
+        return getattr(other, "channel", None) is self.channel
 
     # -- capacity --------------------------------------------------------------
     @property
@@ -239,7 +156,7 @@ class Disk:
             ev = self.sim.event()
             ev.fail(DiskIOError(f"read on wiped disk at {self.host}"))
             return ev
-        return self._reads.submit(nbytes)
+        return self.channel.request(nbytes, (self.read_constraint,))
 
     def write(self, nbytes: float) -> Event:
         """Timed sequential write (capacity must be allocated separately)."""
@@ -247,7 +164,7 @@ class Disk:
             ev = self.sim.event()
             ev.fail(DiskIOError(f"write on wiped disk at {self.host}"))
             return ev
-        return self._writes.submit(nbytes)
+        return self.channel.request(nbytes, (self.write_constraint,))
 
     # -- failure model --------------------------------------------------------------
     def wipe(self) -> None:
@@ -258,8 +175,8 @@ class Disk:
         self._alive = False
         self._usage.clear()
         exc = DiskIOError(f"working directory on {self.host} was removed")
-        self._reads.abort_all(exc)
-        self._writes.abort_all(exc)
+        self.channel.abort_constraint(self.read_constraint, exc)
+        self.channel.abort_constraint(self.write_constraint, exc)
 
     def probe(self) -> bool:
         """The zombie self-check: write a small file and read it back.

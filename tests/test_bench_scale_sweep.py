@@ -1,0 +1,55 @@
+"""Fast-tier coverage for the scale-sweep benchmark harness.
+
+Runs ``bench_scale_sweep.py --smoke`` (one tiny point per scenario) so the
+benchmark script itself — argument parsing, both workload scenarios, the
+channel-core stats it records, and the JSON report shape — cannot rot
+between the real (slow) sweeps.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _load_bench_module():
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import bench_scale_sweep
+        return bench_scale_sweep
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+class TestSmokeMode:
+    def test_smoke_sweep_runs_both_scenarios(self, tmp_path):
+        bench = _load_bench_module()
+        out = tmp_path / "report.json"
+        assert bench.main(["--smoke", "--output", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "bench_scale_sweep"
+        assert len(report["points"]) == 1
+        assert len(report["contended_points"]) == 1
+
+        base = report["points"][0]
+        cont = report["contended_points"][0]
+        assert base["scenario"] == "baseline"
+        assert cont["scenario"] == "contended"
+        for record in (base, cont):
+            assert record["failed_jobs"] == 0
+            assert record["events"] > 0
+            assert record["fabric_rebalances"] > 0
+            assert record["workload_response_seconds"] > 0
+        # The contended scenario doubles the shuffled bytes on half-speed
+        # disks: it must produce strictly more concurrent demand pressure.
+        assert cont["peak_demands"] >= base["peak_demands"]
+
+    def test_contended_scenario_is_disk_throttled(self):
+        bench = _load_bench_module()
+        node = bench.contended_node()
+        default_read = 90e6
+        assert node.disk_read_rate < default_read
+        loadgen = bench.contended_loadgen()
+        base = bench.calibration.default_loadgen()
+        assert loadgen.map_output_ratio > base.map_output_ratio

@@ -1,0 +1,337 @@
+"""Tests for the unified max-min fair channel core (`repro.sim.channel`).
+
+The centrepiece is a randomized property test comparing the incremental
+engine's allocations against a brute-force O(n²) progressive-filling
+reference over random constraint topologies, plus exact-timestamp tests
+for multi-bottleneck completions, uniform (virtual-clock) groups, the
+slack-constraint shortcut, and per-site partition decoupling.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import FairQueue, Simulator
+
+
+def reference_max_min(demand_links, capacities):
+    """Brute-force progressive filling.
+
+    ``demand_links``: list of constraint-index lists (one per demand).
+    ``capacities``: constraint capacities by index.
+    Returns the max-min fair rate per demand.
+    """
+    rates = [0.0] * len(demand_links)
+    frozen = [False] * len(demand_links)
+    residual = list(capacities)
+    while not all(frozen):
+        # Fair share offered by each constraint to its unfrozen demands.
+        best_share, best_c = None, None
+        for c, cap in enumerate(capacities):
+            users = [i for i, links in enumerate(demand_links)
+                     if not frozen[i] and c in links]
+            if not users:
+                continue
+            share = residual[c] / len(users)
+            if best_share is None or share < best_share:
+                best_share, best_c = share, c
+        if best_c is None:  # unconstrained leftovers (cannot happen here)
+            break
+        for i, links in enumerate(demand_links):
+            if not frozen[i] and best_c in links:
+                frozen[i] = True
+                rates[i] = best_share
+                for c in links:
+                    residual[c] -= best_share
+    return rates
+
+
+def start_demands(queue, constraints, demand_links, size=1e9):
+    """Submit one large demand per constraint-index list; returns demands."""
+    return [queue.submit(size, [constraints[c] for c in links])
+            for links in demand_links]
+
+
+class TestAgainstBruteForceReference:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_topology_allocations_match(self, data):
+        n_constraints = data.draw(st.integers(2, 8), label="constraints")
+        capacities = data.draw(
+            st.lists(st.floats(min_value=10.0, max_value=1000.0),
+                     min_size=n_constraints, max_size=n_constraints),
+            label="capacities")
+        n_demands = data.draw(st.integers(1, 14), label="demands")
+        demand_links = [
+            sorted(data.draw(
+                st.sets(st.integers(0, n_constraints - 1), min_size=1,
+                        max_size=min(4, n_constraints)),
+                label=f"links{i}"))
+            for i in range(n_demands)]
+
+        sim = Simulator()
+        queue = FairQueue(sim)
+        cons = [queue.constraint(f"c{i}", cap)
+                for i, cap in enumerate(capacities)]
+        demands = start_demands(queue, cons, demand_links)
+        sim.run(until=0.0)  # process the t=0 filling pass only
+
+        expected = reference_max_min(demand_links, capacities)
+        for d, want in zip(demands, expected):
+            have = d.rate if d._group is None else d._group.share()
+            assert have == pytest.approx(want, rel=1e-9), (
+                f"{demand_links}: got {[x.rate for x in demands]}, "
+                f"want {expected}")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_arrivals_in_stages_still_match_reference(self, data):
+        """Max-min must hold after incremental arrivals, not only for a
+        single batch: later arrivals force partial re-rating."""
+        caps = data.draw(st.lists(st.floats(50.0, 500.0), min_size=3,
+                                  max_size=5), label="caps")
+        n = len(caps)
+        first = [sorted(data.draw(st.sets(st.integers(0, n - 1), min_size=1,
+                                          max_size=2), label=f"f{i}"))
+                 for i in range(data.draw(st.integers(1, 5), label="nf"))]
+        second = [sorted(data.draw(st.sets(st.integers(0, n - 1), min_size=1,
+                                           max_size=2), label=f"s{i}"))
+                  for i in range(data.draw(st.integers(1, 5), label="ns"))]
+
+        sim = Simulator()
+        queue = FairQueue(sim)
+        cons = [queue.constraint(f"c{i}", cap) for i, cap in enumerate(caps)]
+        d1 = start_demands(queue, cons, first)
+        sim.run(until=0.5)
+        d2 = start_demands(queue, cons, second, size=1e9)
+        sim.run(until=0.5)  # flush the second filling pass (same instant)
+
+        expected = reference_max_min(first + second, caps)
+        for d, want in zip(d1 + d2, expected):
+            have = d.rate if d._group is None else d._group.share()
+            assert have == pytest.approx(want, rel=1e-9)
+
+
+class TestMultiBottleneckExactTimestamps:
+    def test_two_bottlenecks_complete_at_exact_times(self):
+        """A(c1) vs B(c1,c2): c2 caps B at 30, A mops up c1's rest."""
+        sim = Simulator()
+        q = FairQueue(sim)
+        c1 = q.constraint("c1", 100.0)
+        c2 = q.constraint("c2", 30.0)
+        a = q.submit(700.0, [c1])
+        b = q.submit(300.0, [c1, c2])
+        sim.run(until=a.done)
+        assert sim.now == pytest.approx(10.0)  # 700 / 70
+        sim.run(until=b.done)
+        assert sim.now == pytest.approx(10.0)  # 300 / 30
+
+    def test_freed_capacity_speeds_survivor_at_exact_instant(self):
+        """Multi-bottleneck handoff: when A drains, B is still c2-capped,
+        but C (c1-only) absorbs the freed bandwidth."""
+        sim = Simulator()
+        q = FairQueue(sim)
+        c1 = q.constraint("c1", 100.0)
+        c2 = q.constraint("c2", 20.0)
+        a = q.submit(200.0, [c1])       # 40 B/s alongside c
+        b = q.submit(100.0, [c1, c2])   # pinned to 20 B/s by c2
+        c = q.submit(400.0, [c1])       # 40 B/s, then 80 B/s after a
+        sim.run(until=a.done)
+        assert sim.now == pytest.approx(5.0)    # 200 / 40
+        sim.run(until=b.done)
+        assert sim.now == pytest.approx(5.0)    # 100 / 20
+        sim.run(until=c.done)
+        # c: 5 s at 40 B/s (200 B left), then 200 B at 80 B/s (c2 still
+        # holds b? no - b finished at 5.0 too) ... after t=5, c is alone:
+        # 200 B at 100 B/s -> 7.0 s total.
+        assert sim.now == pytest.approx(7.0)
+
+    def test_three_tier_progressive_fill_timestamps(self):
+        sim = Simulator()
+        q = FairQueue(sim)
+        c1 = q.constraint("c1", 90.0)
+        c2 = q.constraint("c2", 10.0)
+        c3 = q.constraint("c3", 25.0)
+        slow = q.submit(100.0, [c1, c2])    # 10 B/s (c2)
+        mid = q.submit(250.0, [c1, c3])     # 25 B/s (c3)
+        fast = q.submit(550.0, [c1])        # 90 - 10 - 25 = 55 B/s
+        sim.run(until=slow.done)
+        assert sim.now == pytest.approx(10.0)
+        sim.run(until=mid.done)
+        assert sim.now == pytest.approx(10.0)
+        sim.run(until=fast.done)
+        assert sim.now == pytest.approx(10.0)
+
+
+class TestUniformGroups:
+    def test_flood_forms_group_and_completes_exactly(self):
+        """n demands through one bottleneck with private, no-tighter side
+        constraints: one virtual clock, exact staggered completions."""
+        sim = Simulator()
+        q = FairQueue(sim)
+        src = q.constraint("src", 100.0)
+        privates = [q.constraint(f"p{i}", 100.0) for i in range(4)]
+        sizes = [100.0, 200.0, 300.0, 400.0]
+        demands = [q.submit(s, [src, privates[i]])
+                   for i, s in enumerate(sizes)]
+        sim.run(until=0.0)
+        assert q.uniform_groups == 1
+        assert all(d._group is not None for d in demands)
+        done_at = []
+        for d in demands:
+            sim.run(until=d.done)
+            done_at.append(sim.now)
+        # 4 flows at 25 each: first done at t=4 (100B); then 3 at 33.3:
+        # next at 4 + 100/ (100/3) = 7; then 7 + 100/50 = 9; then 9 + 100/100 = 10.
+        assert done_at == pytest.approx([4.0, 7.0, 9.0, 10.0])
+        # The whole cascade ran on the group clock: one filling pass.
+        assert q.rebalances == 1
+        assert q.uniform_completions == 4
+
+    def test_arrival_dissolves_and_reforms_group(self):
+        sim = Simulator()
+        q = FairQueue(sim)
+        src = q.constraint("src", 100.0)
+        p = [q.constraint(f"p{i}", 100.0) for i in range(3)]
+        a = q.submit(1000.0, [src, p[0]])
+        b = q.submit(1000.0, [src, p[1]])
+        sim.run(until=2.0)
+        assert a._group is not None
+        c = q.submit(400.0, [src, p[2]])
+        sim.run(until=2.0)
+        # New pass re-formed a group including the newcomer.
+        assert c._group is not None and c._group is a._group
+        assert a._group.share() == pytest.approx(100.0 / 3)
+        # a and b drained 100 B each before c arrived.
+        assert a.remaining + b.remaining == pytest.approx(1800.0)
+
+    def test_single_constraint_ops_use_virtual_clock(self):
+        """Disk-style ops (one shared constraint) always group."""
+        sim = Simulator()
+        q = FairQueue(sim)
+        ch = q.constraint("disk", 50.0)
+        evs = [q.request(100.0, [ch]) for _ in range(5)]
+        sim.run(until=sim.all_of(evs))
+        assert sim.now == pytest.approx(10.0)  # 500 B / 50 B/s
+        assert q.rebalances == 1  # all completions via the clock
+
+
+class TestSlackShortcut:
+    def test_undersubscribed_shared_constraint_does_not_couple(self):
+        """Two demands share a big constraint that cannot bind: passes must
+        not chain their components through it."""
+        sim = Simulator()
+        q = FairQueue(sim)
+        wan = q.constraint("wan", 1000.0)   # 2 x 100 << 1000: slack
+        n1 = q.constraint("n1", 100.0)
+        n2 = q.constraint("n2", 100.0)
+        a = q.submit(500.0, [n1, wan])
+        b = q.submit(1000.0, [n2, wan])
+        sim.run(until=0.0)
+        passes_after_start = q.rebalances
+        # Two independent components (the shared wan is provably slack).
+        assert passes_after_start == 2
+        sim.run(until=a.done)
+        assert sim.now == pytest.approx(5.0)
+        sim.run(until=b.done)
+        assert sim.now == pytest.approx(10.0)
+
+    def test_saturated_shared_constraint_still_couples(self):
+        sim = Simulator()
+        q = FairQueue(sim)
+        wan = q.constraint("wan", 150.0)    # 2 x 100 > 150: can bind
+        n1 = q.constraint("n1", 100.0)
+        n2 = q.constraint("n2", 100.0)
+        a = q.submit(750.0, [n1, wan])
+        b = q.submit(750.0, [n2, wan])
+        done = sim.all_of([a.done, b.done])
+        sim.run(until=done)
+        # Max-min: 75 B/s each through the shared wan.
+        assert sim.now == pytest.approx(10.0)
+
+    def test_slack_flips_to_binding_when_load_grows(self):
+        sim = Simulator()
+        q = FairQueue(sim)
+        wan = q.constraint("wan", 150.0)
+        nics = [q.constraint(f"n{i}", 100.0) for i in range(3)]
+        a = q.submit(1000.0, [nics[0], wan])   # alone: slack wan, 100 B/s
+        sim.run(until=2.0)
+        assert a.remaining_now(sim.now) == pytest.approx(800.0)
+        b = q.submit(500.0, [nics[1], wan])
+        c = q.submit(500.0, [nics[2], wan])
+        sim.run(until=4.0)
+        # 3 x 100 > 150: wan binds at 50 B/s each.
+        assert a.remaining_now(sim.now) == pytest.approx(800.0 - 2 * 50.0)
+        assert b.remaining_now(sim.now) == pytest.approx(500.0 - 2 * 50.0)
+        assert c.remaining_now(sim.now) == pytest.approx(500.0 - 2 * 50.0)
+
+
+class TestPartitionDecoupling:
+    def test_intra_partition_churn_is_decoupled_while_wan_idle(self):
+        sim = Simulator()
+        q = FairQueue(sim)
+        a1 = q.constraint("a1", 100.0, partition="siteA")
+        a2 = q.constraint("a2", 100.0, partition="siteA")
+        b1 = q.constraint("b1", 100.0, partition="siteB")
+        q.submit(1000.0, [a1, a2])
+        q.submit(1000.0, [b1])
+        sim.run(until=0.0)
+        assert q.partition_decoupled("siteA")
+        assert q.partition_decoupled("siteB")
+        assert q.cross_partition_passes == 0
+
+    def test_cross_site_demand_bridges_partitions(self):
+        sim = Simulator()
+        q = FairQueue(sim)
+        a1 = q.constraint("a1", 100.0, partition="siteA")
+        wan_a = q.constraint("wanA", 120.0, partition="siteA")
+        wan_b = q.constraint("wanB", 120.0, partition="siteB")
+        b1 = q.constraint("b1", 100.0, partition="siteB")
+        d = q.submit(1000.0, [a1, wan_a, wan_b, b1])
+        sim.run(until=0.0)
+        assert not q.partition_decoupled("siteA")
+        assert not q.partition_decoupled("siteB")
+        sim.run(until=d.done)
+        # Bridge gone: both sites decoupled again.
+        assert q.partition_decoupled("siteA")
+        assert q.partition_decoupled("siteB")
+
+
+class TestLifecycle:
+    def test_zero_byte_demand_completes_immediately(self):
+        sim = Simulator()
+        q = FairQueue(sim)
+        c = q.constraint("c", 10.0)
+        d = q.submit(0.0, [c])
+        assert d.done.triggered
+        assert q.active_demands == 0
+
+    def test_negative_size_rejected(self):
+        sim = Simulator()
+        q = FairQueue(sim)
+        c = q.constraint("c", 10.0)
+        with pytest.raises(ValueError):
+            q.submit(-1.0, [c])
+
+    def test_abort_constraint_fails_all_and_rerates_survivors(self):
+        sim = Simulator()
+        q = FairQueue(sim)
+        shared = q.constraint("shared", 100.0)
+        other = q.constraint("other", 100.0)
+        doomed = q.submit(1000.0, [shared, other])
+        doomed.done.defused()
+        survivor = q.submit(500.0, [shared])
+        sim.run(until=2.0)
+        assert q.abort_constraint(other, RuntimeError("wiped")) == 1
+        sim.run(until=survivor.done)
+        assert not doomed.done.ok
+        # survivor: 2 s at 50 B/s, then 400 B at 100 B/s.
+        assert sim.now == pytest.approx(6.0)
+
+    def test_work_conservation_random_sizes(self):
+        sim = Simulator()
+        q = FairQueue(sim)
+        ch = q.constraint("ch", 100.0)
+        sizes = [37.0, 240.0, 101.5, 999.0, 5.0]
+        evs = [q.request(s, [ch]) for s in sizes]
+        sim.run(until=sim.all_of(evs))
+        assert sim.now == pytest.approx(sum(sizes) / 100.0)

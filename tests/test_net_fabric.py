@@ -225,6 +225,29 @@ class TestSetupPhaseAbort:
         assert not ev.ok
         assert fabric.active_flows == 0
 
+    def test_disk_wipe_during_setup_fails_joint_stream(self):
+        """Regression: a joint disk+network stream registers on the disk's
+        constraint only after the network setup delay, so a wipe inside
+        that window used to be invisible — the fetch then 'succeeded' from
+        a zombie whose files are gone.  The validate re-check closes it."""
+        from repro.storage import Disk
+        sim, fabric = self._fabric_with_latency()
+        disk = Disk(sim, "a.unl.edu", 1e9, read_rate=50.0,
+                    channel=fabric.channel,
+                    partition=fabric.topology.site_of("a.unl.edu"))
+        ev = fabric.serve_stream("a.unl.edu", "b.mit.edu", 1000.0, disk)
+        ev.defused()
+
+        def wiper(sim):
+            yield sim.timeout(1.0)  # mid-setup (2.0 s inter-site latency)
+            disk.wipe()
+
+        sim.process(wiper(sim))
+        sim.run()
+        assert ev.triggered and not ev.ok
+        assert fabric.active_flows == 0
+        assert fabric.channel.active_demands == 0
+
     def test_abort_after_setup_still_counts_fluid_flow(self):
         sim, fabric = self._fabric_with_latency()
         fabric.transfer("a.unl.edu", "b.mit.edu", 1000.0).defused()
@@ -250,11 +273,15 @@ class TestStarvationGuard:
         sim.run(until=0.0)  # let the flow enter the fluid phase
         assert fabric.active_flows == 1
         flow = next(iter(fabric._flows))
-        # Emulate the degenerate filling outcome: starved, timer cancelled.
+        # Emulate the degenerate filling outcome: starved, every timer
+        # cancelled (uniform group dissolved, bottleneck timers stale).
+        if flow._group is not None:
+            flow._group.dissolve()
         flow.rate = 0.0
-        flow._timer_version += 1
-        flow._timer_at = None
-        fabric._schedule_completion(flow)
+        for link in flow.links:
+            link._timer_version += 1
+            link._timer_at = None
+        fabric.channel.ensure_progress(flow)
         # Pre-fix this deadlocks ("ran out of events"); post-fix the retry
         # pass re-rates the flow and the transfer completes: 1 s retry
         # delay + 1000 B at the full 100 B/s NIC.
