@@ -6,14 +6,19 @@ events processed, events/second of wall time, peak concurrent flow count,
 and channel-core pass statistics, then writes everything to
 ``BENCH_scale.json`` next to this script.
 
-Two scenarios per node count:
+All setup comes from the scenario registry
+(:mod:`repro.scenarios.registry`); this script owns no cluster/workload
+construction of its own.  Two scenarios sweep per node count:
 
 - ``baseline`` — the paper's Table II cost model (what PR 1 recorded);
 - ``contended`` — a shuffle-heavy variant (double the intermediate data)
   on slow disks, so shuffle serves and replication streams are genuinely
-  *disk*-bottlenecked.  This exercises the unified channel core's joint
-  disk+network demands: every fetch drains through the server's disk-read
-  constraint, its NIC, and (cross-site) the WAN legs at once.
+  *disk*-bottlenecked, exercising the joint disk+network demands.
+
+A third section runs EVERY registry scenario once at a small fixed size
+and records its full :class:`~repro.scenarios.runner.ScenarioResult` —
+the model-coverage anchor keeping wan_staging / hetero_tiers /
+rebalance_under_load / churn_heavy measured between releases.
 
 Usage::
 
@@ -24,18 +29,16 @@ Usage::
 
 Workload scale follows ``REPRO_SCALE`` (default 0.25, like the other
 benches); ``--scale`` overrides.  ``--smoke`` shrinks the sweep (one small
-node count, tiny scale, both scenarios) to a couple of wall seconds so the
+node count, tiny scale, every scenario) to a few wall seconds so the
 fast test tier can keep the harness itself from rotting.
 """
 
 from __future__ import annotations
 
 import argparse
-from dataclasses import replace
 import json
 import os
 import sys
-import time
 from pathlib import Path
 
 if __package__ in (None, ""):
@@ -44,71 +47,77 @@ if __package__ in (None, ""):
     if _src.is_dir() and str(_src) not in sys.path:
         sys.path.insert(0, str(_src))
 
-from repro.core.config import NodeConfig
 from repro.experiments import calibration
-from repro.experiments.common import HogRunSettings, run_facebook_on_hog
-from repro.workload.schedule import LoadgenParams
+from repro.scenarios import ScenarioRunner, registry
 
 DEFAULT_NODE_COUNTS = (100, 250, 500, 1000)
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_scale.json"
+#: Sizing of the every-scenario coverage section (kept small: it is a
+#: model-coverage anchor, not a scaling anchor).
+SCENARIO_SECTION_NODES = 40
+SCENARIO_SECTION_SCALE = 0.05
 
 
-def contended_loadgen() -> LoadgenParams:
-    """Shuffle-heavy job costs: 2x the baseline intermediate data,
-    everything else inherited from the calibrated base."""
-    base = calibration.default_loadgen()
-    return replace(base, map_output_ratio=2.0 * base.map_output_ratio)
+def contended_loadgen():
+    """The ``contended`` registry scenario's loadgen (2x intermediate
+    data) — exposed for tests."""
+    return registry.build("contended").workload.loadgen
 
 
-def contended_node() -> NodeConfig:
-    """Slow spinning disks (half the default bandwidth): the shuffle's
-    joint disk+network demands become disk-bound.  Everything else —
-    notably the calibrated grid CPU speed band — matches the baseline
-    scenario, so the two differ ONLY in disk bandwidth."""
-    return replace(calibration.grid_node_config(),
-                   disk_read_rate=45e6, disk_write_rate=35e6)
+def contended_node():
+    """The ``contended`` registry scenario's half-speed-disk node config —
+    exposed for tests."""
+    return registry.build("contended").cluster.node
 
 
 def run_point(n_nodes: int, scale: float, seed: int,
               scenario: str = "baseline") -> dict:
-    """One sweep point: run the workload, return its perf record."""
-    kwargs = {}
-    if scenario == "contended":
-        kwargs["loadgen"] = contended_loadgen()
-        kwargs["node"] = contended_node()
-    else:
-        kwargs["loadgen"] = calibration.default_loadgen()
-    settings = HogRunSettings(
-        n_nodes=n_nodes, seed=seed + n_nodes, scale=scale,
-        # Under churn the running count hovers just below the target while
-        # replacements re-download the worker package; waiting for a 100%
-        # lull at 1000 nodes costs simulated *hours*.  98% matches the
-        # paper's fluctuation-tolerant reading of "reaches this number".
-        ramp_fraction=0.98, **kwargs)
-    t0 = time.perf_counter()
-    result, hog = run_facebook_on_hog(settings, return_system=True)
-    wall = time.perf_counter() - t0
-    events = hog.sim.events_processed
-    channel = hog.fabric.channel
+    """One sweep point: run the registry scenario, return its perf record."""
+    spec = registry.build(scenario, n_nodes=n_nodes, scale=scale,
+                          seed=seed + n_nodes)
+    # Under churn the running count hovers just below the target while
+    # replacements re-download the worker package; waiting for a 100%
+    # lull at 1000 nodes costs simulated *hours*.  98% matches the
+    # paper's fluctuation-tolerant reading of "reaches this number".
+    spec.cluster.ramp_fraction = 0.98
+    runner = ScenarioRunner(spec)
+    result = runner.run()
     return {
         "nodes": n_nodes,
         "scenario": scenario,
         "scale": scale,
-        "seed": settings.seed,
-        "wall_seconds": round(wall, 3),
-        "sim_seconds": round(hog.sim.now, 1),
-        "events": events,
-        "events_per_second": round(events / wall) if wall > 0 else None,
-        "peak_flows": hog.fabric.peak_flows,
-        "peak_demands": channel.peak_demands,
-        "fabric_rebalances": channel.rebalances,
-        "uniform_groups": channel.uniform_groups,
-        "uniform_completions": channel.uniform_completions,
-        "cross_partition_passes": channel.cross_partition_passes,
-        "starvation_rescues": channel.starvation_rescues,
-        "workload_response_seconds": round(result.response_time, 1),
+        "seed": spec.seed,
+        "wall_seconds": round(result.wall_seconds, 3),
+        "sim_seconds": round(result.sim_seconds, 1),
+        "events": result.events,
+        "events_per_second": result.events_per_second,
+        "peak_flows": result.channel["peak_flows"],
+        "peak_demands": result.channel["peak_demands"],
+        "fabric_rebalances": result.channel["rebalances"],
+        "uniform_groups": result.channel["uniform_groups"],
+        "uniform_completions": result.channel["uniform_completions"],
+        "cross_partition_passes": result.channel["cross_partition_passes"],
+        "starvation_rescues": result.channel["starvation_rescues"],
+        "workload_response_seconds": round(result.makespan_seconds, 1),
         "failed_jobs": result.failed_jobs,
     }
+
+
+def run_scenario_section(nodes: int, scale: float, seed: int,
+                         skip=()) -> dict:
+    """Every registry scenario once, at one small size: full results."""
+    section = {}
+    for name in registry.names():
+        if name in skip:
+            continue
+        print(f"[scale-sweep] scenario {name!r} @ {nodes} nodes, "
+              f"scale {scale} ...", flush=True)
+        spec = registry.build(name, n_nodes=nodes, scale=scale, seed=seed)
+        runner = ScenarioRunner(spec)
+        result = runner.run()
+        print(f"[scale-sweep]   {result.summary()}", flush=True)
+        section[name] = result.to_dict()
+    return section
 
 
 def main(argv=None) -> int:
@@ -123,7 +132,10 @@ def main(argv=None) -> int:
     parser.add_argument("--scenarios", nargs="+",
                         default=["baseline", "contended"],
                         choices=["baseline", "contended"],
-                        help="which workload scenarios to run")
+                        help="which workload scenarios to sweep over node "
+                             "counts (the coverage section always runs all)")
+    parser.add_argument("--no-scenario-section", action="store_true",
+                        help="skip the every-scenario coverage section")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sweep (one small point per scenario) for "
                              "the fast test tier")
@@ -136,10 +148,16 @@ def main(argv=None) -> int:
     # The contended scenario is a model-coverage anchor, not a scaling
     # anchor: run it at the two smallest node counts only.
     contended_nodes = sorted(nodes)[:2]
+    section_nodes, section_scale = SCENARIO_SECTION_NODES, SCENARIO_SECTION_SCALE
+    section_skip = ()
     if args.smoke:
         nodes = [30]
         contended_nodes = [30]
         scale = 0.04
+        # The sweep points above already cover baseline and contended at
+        # this exact size; re-running them in the section buys nothing.
+        section_nodes, section_scale = 30, 0.04
+        section_skip = ("baseline", "contended")
 
     points = []
     contended_points = []
@@ -158,15 +176,22 @@ def main(argv=None) -> int:
             contended_points.append(record)
             _report(record)
 
+    scenario_section = {}
+    if not args.no_scenario_section:
+        scenario_section = run_scenario_section(section_nodes, section_scale,
+                                                args.seed, skip=section_skip)
+
     report = {
         "benchmark": "bench_scale_sweep",
         "description": "fig4-style Facebook workload on HOG at increasing "
                        "node counts (unified max-min channel core: joint "
                        "disk+network demands, per-bottleneck group timers, "
-                       "slack-link decoupling)",
+                       "slack-link decoupling), plus one run of every "
+                       "registry scenario",
         "python": sys.version.split()[0],
         "points": points,
         "contended_points": contended_points,
+        "scenarios": scenario_section,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[scale-sweep] wrote {args.output}")

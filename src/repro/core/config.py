@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..grid.glidein import WrapperConfig
 from ..grid.site import PAPER_SITES, GridSiteConfig
@@ -59,6 +59,11 @@ class HOGConfig:
     fabric: FabricConfig = field(default_factory=FabricConfig)
     wrapper: WrapperConfig = field(default_factory=WrapperConfig)
     node: NodeConfig = field(default_factory=NodeConfig)
+    #: Per-site hardware overrides keyed by grid site *name* (e.g.
+    #: ``"UCSDT2"``).  Workers at a listed site get that hardware model
+    #: instead of ``node`` — heterogeneous SSD/HDD site mixes are one
+    #: entry per tier.
+    site_nodes: Dict[str, NodeConfig] = field(default_factory=dict)
     #: Condor negotiation cycle period, seconds.
     negotiation_interval: float = 20.0
     #: The paper's site awareness (§III-B1).  False drops every worker
@@ -79,6 +84,11 @@ class HOGConfig:
         self.fabric.validate()
         self.wrapper.validate()
         self.node.validate()
+        site_names = {s.name for s in self.sites}
+        for name, node in self.site_nodes.items():
+            node.validate()
+            if name not in site_names:
+                raise ValueError(f"site_nodes names unknown site {name!r}")
         if self.negotiation_interval <= 0:
             raise ValueError("negotiation_interval must be positive")
         # The wrapper downloads its package from the central server.

@@ -140,7 +140,7 @@ class HOGSystem:
 
     # -- node lifecycle hooks (called by the glidein factory) -----------------------
     def _node_start(self, host: str, site: GridSite) -> WorkerNode:
-        node_cfg = self.config.node
+        node_cfg = self.config.site_nodes.get(site.name, self.config.node)
         speed = float(self.rng.uniform(node_cfg.speed_min, node_cfg.speed_max))
         # The disk drains through the fabric's shared channel so shuffle
         # serves, HDFS reads, and replication streams are jointly

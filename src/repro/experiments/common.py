@@ -9,47 +9,44 @@ Both runners follow the §IV-A protocol:
 3. replay the 88-job exponential submission schedule,
 4. measure the workload response time (first submission → last completion),
    and for HOG the area beneath the node-count curve (Table IV).
+
+The HOG side is a thin consumer of the scenario subsystem: a
+:class:`HogRunSettings` is translated into an ad-hoc
+:class:`~repro.scenarios.spec.ScenarioSpec` and executed by the unified
+:class:`~repro.scenarios.runner.ScenarioRunner` — the setup, phase, and
+measurement code lives there, once, shared with every registry scenario.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
-from ..baselines.dedicated import DedicatedCluster, DedicatedClusterConfig, table3_config
-from ..core.config import HOGConfig, NodeConfig
-from ..core.hog import HOGSystem
+from ..baselines.dedicated import DedicatedClusterConfig, DedicatedCluster, table3_config
+from ..core.config import NodeConfig
 from ..grid.glidein import WrapperConfig
-from ..grid.site import GridSiteConfig, SitePolicy
-from ..hdfs.config import HdfsConfig, hog_config
-from ..mapreduce.config import MRConfig, hog_mr_config
+from ..grid.site import GridSiteConfig, SitePolicy, sites_with_policy
+from ..hdfs.config import HdfsConfig
+from ..mapreduce.config import MRConfig
 from ..metrics.report import WorkloadResult
 from ..net.fabric import FabricConfig
+from ..scenarios.runner import ScenarioRunner, collect_result, drive_workload
+from ..scenarios.spec import ClusterSpec, FaultSpec, ScenarioSpec, WorkloadSpec
 from ..sim.engine import Simulator
-from ..sim.monitor import StepSeries
-from ..workload.schedule import (
-    LoadgenParams,
-    SubmissionSchedule,
-    build_facebook_schedule,
-)
+from ..workload.schedule import LoadgenParams, build_facebook_schedule
 from . import calibration
 
 __all__ = ["HogRunSettings", "run_facebook_on_hog", "run_facebook_on_cluster",
-           "paper_sites_with_policy"]
+           "paper_sites_with_policy", "settings_to_spec"]
 
 
 def paper_sites_with_policy(policy: SitePolicy, total_capacity: int,
                             n_sites: int = 5) -> List[GridSiteConfig]:
     """Five OSG-like sites sharing one policy, sized so the grid can hold
     ``total_capacity`` workers with headroom for churn replacement."""
-    per_site = math.ceil(total_capacity * 1.3 / n_sites)
-    domains = ["fnal.gov", "fnalwc1.gov", "ucsd.edu", "aglt2.org", "mit.edu"]
-    names = ["FNAL_FERMIGRID", "USCMS-FNAL-WC1", "UCSDT2", "AGLT2", "MIT_CMS"]
-    return [GridSiteConfig(names[i], domains[i], per_site, policy)
-            for i in range(n_sites)]
+    return sites_with_policy(policy, total_capacity, n_sites)
 
 
 @dataclass
@@ -80,50 +77,29 @@ class HogRunSettings:
     timeout: float = 400_000.0
 
 
-def _submission_process(sim, system, schedule: SubmissionSchedule, jobs: list):
-    """Replay the schedule: sleep each exponential gap, submit; then wait
-    (event-driven) for every submitted job to finish."""
-    last = 0.0
-    for item in schedule.jobs:
-        gap = item.submit_time - last
-        if gap > 0:
-            yield sim.timeout(gap)
-        last = item.submit_time
-        jobs.append((system.submit(item.spec), item.bin_id))
-    if jobs:
-        yield system.jobtracker.when_jobs_done([j for j, _ in jobs])
-
-
-def _drive_workload(sim, system, schedule: SubmissionSchedule, jobs: list,
-                    timeout: float) -> None:
-    """Run the submission replay to completion (or ``timeout`` sim-seconds).
-
-    The driver process finishes at the exact instant the last job does;
-    the engine advances straight through real events instead of polling
-    job states every 25 s."""
-    driver = sim.process(_submission_process(sim, system, schedule, jobs),
-                         name="workload-submitter")
-    sim.run_until(driver, sim.now + timeout)
-
-
-def _collect_result(system_name: str, nodes: int, jobs, start: float,
-                    end: float, series: Optional[StepSeries],
-                    jobtracker) -> WorkloadResult:
-    bin_responses: Dict[int, List[float]] = {}
-    failed = 0
-    locality = {"data_local": 0, "site_local": 0, "remote": 0}
-    for job, bin_id in jobs:
-        if job.response_time is None or job.status != "succeeded":
-            failed += 1
-            continue
-        bin_responses.setdefault(bin_id, []).append(job.response_time)
-        for k, v in job.locality_counters.items():
-            locality[k] += v
-    area = series.integrate(start, end) if series is not None else None
-    return WorkloadResult(
-        system=system_name, nodes=nodes, start_time=start, end_time=end,
-        bin_responses=bin_responses, failed_jobs=failed, node_area=area,
-        locality=locality, counters=jobtracker.counters.as_dict())
+def settings_to_spec(settings: HogRunSettings,
+                     name: str = "adhoc") -> ScenarioSpec:
+    """Translate experiment settings into an (unregistered) scenario spec."""
+    return ScenarioSpec(
+        name=name,
+        cluster=ClusterSpec(
+            n_nodes=settings.n_nodes,
+            n_sites=settings.n_sites,
+            site_awareness=settings.site_awareness,
+            ramp_fraction=settings.ramp_fraction,
+            node=settings.node,
+            fabric=settings.fabric,
+            hdfs=settings.hdfs,
+            mr=settings.mr,
+            wrapper=settings.wrapper,
+        ),
+        workload=WorkloadSpec(loadgen=settings.loadgen, scale=settings.scale),
+        faults=FaultSpec(policy=settings.policy),
+        scheduler=(settings.mr.scheduler if settings.mr is not None
+                   else "fifo"),
+        seed=settings.seed,
+        timeout=settings.timeout,
+    )
 
 
 def run_facebook_on_hog(settings: HogRunSettings,
@@ -131,39 +107,12 @@ def run_facebook_on_hog(settings: HogRunSettings,
     """Run the Table II workload on a HOG deployment.
 
     Returns a :class:`WorkloadResult` (and optionally the live
-    :class:`HOGSystem` for inspection)."""
-    sim = Simulator()
-    cfg = HOGConfig(
-        sites=paper_sites_with_policy(settings.policy, settings.n_nodes,
-                                      settings.n_sites),
-        hdfs=settings.hdfs or hog_config(),
-        mr=settings.mr or hog_mr_config(),
-        fabric=settings.fabric or calibration.grid_fabric(),
-        wrapper=settings.wrapper or WrapperConfig(),
-        node=settings.node or calibration.grid_node_config(),
-        site_awareness=settings.site_awareness,
-        seed=settings.seed,
-    )
-    hog = HOGSystem(sim, cfg)
-    hog.start(settings.n_nodes)
-    ramp_target = max(1, math.ceil(settings.n_nodes * settings.ramp_fraction))
-    hog.run_until_nodes(ramp_target, timeout=settings.timeout)
-
-    rng = np.random.default_rng(settings.seed + 77)
-    schedule = build_facebook_schedule(rng, settings.loadgen,
-                                       scale=settings.scale)
-    for input_file, n_blocks in schedule.inputs.items():
-        hog.preload_input(input_file, n_blocks)
-
-    jobs: list = []
-    start = sim.now
-    _drive_workload(sim, hog, schedule, jobs, settings.timeout)
-    end = sim.now
-    result = _collect_result("HOG", settings.n_nodes, jobs, start, end,
-                             hog.believed_series, hog.jobtracker)
+    :class:`~repro.core.hog.HOGSystem` for inspection)."""
+    runner = ScenarioRunner(settings_to_spec(settings))
+    runner.run()
     if return_system:
-        return result, hog
-    return result
+        return runner.workload, runner.system
+    return runner.workload
 
 
 def run_facebook_on_cluster(seed: int = 0, scale: float = 1.0,
@@ -176,7 +125,6 @@ def run_facebook_on_cluster(seed: int = 0, scale: float = 1.0,
     cfg = cluster_config or table3_config(fabric=calibration.cluster_fabric())
     cluster = DedicatedCluster(sim, cfg)
     sim.run(until=10.0)  # let daemons register
-
     rng = np.random.default_rng(seed + 77)
     schedule = build_facebook_schedule(
         rng, loadgen or calibration.default_loadgen(), scale=scale)
@@ -185,9 +133,9 @@ def run_facebook_on_cluster(seed: int = 0, scale: float = 1.0,
 
     jobs: list = []
     start = sim.now
-    _drive_workload(sim, cluster, schedule, jobs, timeout)
+    drive_workload(sim, cluster, schedule, jobs, timeout)
     end = sim.now
-    result = _collect_result(
+    result = collect_result(
         f"Cluster({cfg.total_map_slots} cores)", cfg.total_nodes, jobs,
         start, end, None, cluster.jobtracker)
     if return_system:

@@ -22,9 +22,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..metrics.report import WorkloadResult, format_table
+from ..metrics.report import format_table
+from ..scenarios import ScenarioRunner, registry
 from . import calibration
-from .common import HogRunSettings, run_facebook_on_cluster, run_facebook_on_hog
+from .common import run_facebook_on_cluster
 
 __all__ = ["Fig4Point", "Fig4Result", "run_fig4", "find_crossover",
            "DEFAULT_NODE_COUNTS", "QUICK_NODE_COUNTS"]
@@ -115,6 +116,11 @@ def run_fig4(node_counts: Sequence[int] = QUICK_NODE_COUNTS,
 
     ``runs_per_point=3`` matches the paper ("We performed 3 runs at each
     sampling point"); the quick default uses one.
+
+    Each HOG point is the registry's ``baseline`` scenario at the wanted
+    node count, run through the unified
+    :class:`~repro.scenarios.runner.ScenarioRunner` — this driver carries
+    no setup code of its own.
     """
     loadgen = calibration.default_loadgen()
     cluster = run_facebook_on_cluster(seed=seed, scale=scale, loadgen=loadgen)
@@ -122,12 +128,14 @@ def run_fig4(node_counts: Sequence[int] = QUICK_NODE_COUNTS,
     for n in node_counts:
         responses, areas = [], []
         for r in range(runs_per_point):
-            settings = HogRunSettings(
-                n_nodes=n, seed=seed + 1000 * r + n, loadgen=loadgen,
-                scale=scale,
-                policy=policy or calibration.default_grid_policy())
-            result = run_facebook_on_hog(settings)
-            responses.append(result.response_time)
-            areas.append(result.node_area or 0.0)
+            spec = registry.build("baseline", n_nodes=n, scale=scale,
+                                  seed=seed + 1000 * r + n)
+            spec.workload.loadgen = loadgen
+            if policy is not None:
+                spec.faults.policy = policy
+            runner = ScenarioRunner(spec)
+            runner.run()
+            responses.append(runner.workload.response_time)
+            areas.append(runner.workload.node_area or 0.0)
         points.append(Fig4Point(n, responses, areas))
     return Fig4Result(cluster.response_time, points, runs_per_point)

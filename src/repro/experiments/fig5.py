@@ -27,9 +27,9 @@ import numpy as np
 
 from ..grid.site import SitePolicy
 from ..metrics.report import format_table
+from ..scenarios import ScenarioRunner, registry
 from ..sim.monitor import StepSeries
 from . import calibration
-from .common import HogRunSettings, run_facebook_on_hog
 
 __all__ = ["Fig5Run", "Fig5Result", "run_fig5"]
 
@@ -84,7 +84,11 @@ def run_fig5(target_nodes: int = 55,
              seeds: Tuple[int, int, int] = (11, 12, 13),
              stable_policy: Optional[SitePolicy] = None,
              unstable_policy: Optional[SitePolicy] = None) -> Fig5Result:
-    """Regenerate Figure 5's three executions (a/b stable, c unstable)."""
+    """Regenerate Figure 5's three executions (a/b stable, c unstable).
+
+    Every run is the registry's ``baseline`` scenario with the fault
+    policy swapped (stable for 5a/5b, unstable for 5c), executed by the
+    unified :class:`~repro.scenarios.runner.ScenarioRunner`."""
     stable_policy = stable_policy or calibration.stable_policy()
     unstable_policy = unstable_policy or calibration.unstable_policy()
     plan = [("5a", seeds[0], True, stable_policy),
@@ -92,10 +96,13 @@ def run_fig5(target_nodes: int = 55,
             ("5c", seeds[2], False, unstable_policy)]
     runs: List[Fig5Run] = []
     for label, seed, stable, policy in plan:
-        settings = HogRunSettings(n_nodes=target_nodes, seed=seed,
-                                  policy=policy, scale=scale,
-                                  loadgen=calibration.default_loadgen())
-        result, hog = run_facebook_on_hog(settings, return_system=True)
+        spec = registry.build("baseline", n_nodes=target_nodes, scale=scale,
+                              seed=seed)
+        spec.name = f"fig5-{label}"
+        spec.faults.policy = policy
+        runner = ScenarioRunner(spec)
+        runner.run()
+        result, hog = runner.workload, runner.system
         times, values = hog.believed_series.as_arrays()
         window = (times >= result.start_time) & (times <= result.end_time)
         runs.append(Fig5Run(

@@ -10,10 +10,20 @@ whose batch system can preempt HOG's glideins at any time.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-__all__ = ["SitePolicy", "GridSiteConfig", "GridSite", "PAPER_SITES"]
+__all__ = ["SitePolicy", "GridSiteConfig", "GridSite", "PAPER_SITES",
+           "PAPER_SITE_NAMES", "PAPER_SITE_DOMAINS", "sites_with_policy"]
+
+#: Condor resource names of the five whitelisted OSG sites (Listing 1).
+PAPER_SITE_NAMES = ("FNAL_FERMIGRID", "USCMS-FNAL-WC1", "UCSDT2", "AGLT2",
+                    "MIT_CMS")
+#: Worker-node DNS domains of those sites (WC1 gets its own domain so the
+#: last-two-labels rule keeps five distinct failure domains).
+PAPER_SITE_DOMAINS = ("fnal.gov", "fnalwc1.gov", "ucsd.edu", "aglt2.org",
+                      "mit.edu")
 
 
 @dataclass
@@ -127,6 +137,21 @@ class GridSite:
                 f"{self.config.capacity}>")
 
 
+def sites_with_policy(policy: SitePolicy, total_capacity: int,
+                      n_sites: int = 5,
+                      headroom: float = 1.3) -> List[GridSiteConfig]:
+    """Up to five OSG-like sites sharing one policy, sized so the grid can
+    hold ``total_capacity`` workers with ``headroom`` slack for churn
+    replacement (replacements are always in flight re-downloading the
+    worker package, so the grid must be able to over-provision)."""
+    if not (1 <= n_sites <= len(PAPER_SITE_NAMES)):
+        raise ValueError(f"n_sites must be in [1, {len(PAPER_SITE_NAMES)}]")
+    per_site = math.ceil(total_capacity * headroom / n_sites)
+    return [GridSiteConfig(PAPER_SITE_NAMES[i], PAPER_SITE_DOMAINS[i],
+                           per_site, policy)
+            for i in range(n_sites)]
+
+
 def PAPER_SITES(capacity_each: int = 300,
                 policy: Optional[SitePolicy] = None) -> List[GridSiteConfig]:
     """The five OSG sites of Listing 1, as site configs.
@@ -137,12 +162,5 @@ def PAPER_SITES(capacity_each: int = 300,
     distinct sites (the paper treats them as five).
     """
     pol = policy or SitePolicy()
-    specs = [
-        ("FNAL_FERMIGRID", "fnal.gov"),
-        ("USCMS-FNAL-WC1", "fnalwc1.gov"),
-        ("UCSDT2", "ucsd.edu"),
-        ("AGLT2", "aglt2.org"),
-        ("MIT_CMS", "mit.edu"),
-    ]
     return [GridSiteConfig(name=n, domain=d, capacity=capacity_each, policy=pol)
-            for n, d in specs]
+            for n, d in zip(PAPER_SITE_NAMES, PAPER_SITE_DOMAINS)]

@@ -6,7 +6,13 @@ from .client import BlockUnavailableError, HdfsClient, ReadResult
 from .config import GB, MB, HdfsConfig, hog_config, stock_hadoop_config
 from .datanode import BlockReadError, Datanode
 from .namenode import DatanodeDescriptor, HdfsError, Namenode
-from .placement import PlacementError, PlacementPolicy, RandomPolicy, SiteAwarePolicy
+from .placement import (
+    LiveHostIndex,
+    PlacementError,
+    PlacementPolicy,
+    RandomPolicy,
+    SiteAwarePolicy,
+)
 
 __all__ = [
     "Block",
@@ -26,6 +32,7 @@ __all__ = [
     "ReadResult",
     "BlockUnavailableError",
     "PlacementPolicy",
+    "LiveHostIndex",
     "SiteAwarePolicy",
     "RandomPolicy",
     "PlacementError",

@@ -141,7 +141,13 @@ class Balancer:
                 # and drops exactly this one.
                 info.balancer_drop = src
                 tgt_dn = self.namenode.datanode(tgt)
-                events.append((tgt_dn.receive_block(info.block, src),
+                # Joint disk+network streaming: the move is rated over the
+                # source disk read, the network path, and the target disk
+                # write at once, so migrations genuinely compete with live
+                # shuffle/read traffic at both endpoints.
+                src_disk = self.namenode.datanode(src).disk
+                events.append((tgt_dn.receive_block(info.block, src,
+                                                    source_disk=src_disk),
                                src, tgt, bid))
             for ev, src, tgt, bid in events:
                 info = self.namenode.block_info(bid)

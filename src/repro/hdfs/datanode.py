@@ -171,19 +171,29 @@ class Datanode:
         self._blocks[block.block_id] = block
         self.namenode.block_received(block.block_id, self.host)
 
-    def receive_block(self, block: Block, source: str) -> Event:
+    def receive_block(self, block: Block, source: str,
+                      source_disk: Optional[Disk] = None) -> Event:
         """Receive a replica from ``source`` over the network and persist it.
+
+        ``source_disk`` (when given and sharing our channel) joins the
+        stream's constraint set with its *read* bandwidth: the move is then
+        one demand rated end-to-end over source disk read, the network
+        path, and our disk write — what a balancer migration or
+        re-replication physically is.  Without it only our write side and
+        the network are modelled.
 
         Returns an event succeeding once the replica is finalized and
         reported, or failing with ``DiskFullError`` / ``TransferFailed`` /
         ``DiskIOError``.
         """
         done = self.sim.event()
-        self.sim.process(self._receive_block_proc(block, source, done),
-                         name=f"dn-recv:{self.host}:{block.block_id}")
+        self.sim.process(
+            self._receive_block_proc(block, source, done, source_disk),
+            name=f"dn-recv:{self.host}:{block.block_id}")
         return done
 
-    def _receive_block_proc(self, block: Block, source: str, done: Event):
+    def _receive_block_proc(self, block: Block, source: str, done: Event,
+                            source_disk: Optional[Disk] = None):
         if self.state != Datanode.RUNNING:
             done.fail(DiskIOError(f"datanode {self.host} not running"))
             done.defused()
@@ -199,11 +209,20 @@ class Datanode:
                 # Streaming receive: one demand jointly constrained by the
                 # network path (source NIC, WAN legs, our NIC) and our disk
                 # write bandwidth — data is persisted as it arrives, like a
-                # real pipelined block write.
+                # real pipelined block write.  A shared-channel source disk
+                # adds its read side, so the move competes with live
+                # shuffle serves and HDFS reads at the source.
+                extras = [self.disk.write_constraint]
+                src_disk = (source_disk if source_disk is not None
+                            and source_disk.shares_channel_with(self.fabric)
+                            else None)
+                if src_disk is not None:
+                    extras.insert(0, src_disk.read_constraint)
                 yield self.fabric.transfer(
                     source, self.host, block.size,
-                    extra_constraints=(self.disk.write_constraint,),
-                    validate=lambda: self.disk.alive)
+                    extra_constraints=extras,
+                    validate=lambda: self.disk.alive and (
+                        src_disk is None or src_disk.alive))
             else:
                 yield self.fabric.transfer(source, self.host, block.size)
                 yield self.disk.write(block.size)

@@ -28,7 +28,7 @@ from ..sim.monitor import CounterSet
 from .block import Block, BlockInfo, FileInfo
 from .config import HdfsConfig
 from .datanode import Datanode
-from .placement import PlacementPolicy
+from .placement import LiveHostIndex, PlacementPolicy
 
 __all__ = ["Namenode", "DatanodeDescriptor", "HdfsError"]
 
@@ -79,6 +79,10 @@ class Namenode:
         #: answer for placement instead of an O(all datanodes) scan per
         #: scheduled block.
         self._live_hosts: Dict[str, None] = {}
+        #: The same host set grouped per site, maintained event-driven —
+        #: placement draws from these cached lists instead of regrouping
+        #: the live list for every block (the 10k-node hot path).
+        self._live_index = LiveHostIndex(topology)
         #: (believed expiry time, host) heap for the heartbeat monitor —
         #: entries are lazily revalidated against ``last_heartbeat`` on pop
         #: and re-pushed, so each monitor tick costs O(expiring) instead of
@@ -139,6 +143,7 @@ class Namenode:
         self._nodes[host] = DatanodeDescriptor(datanode, self.sim.now)
         self._host_blocks.setdefault(host, set())
         self._live_hosts[host] = None
+        self._live_index.add(host)
         heapq.heappush(self._hb_heap,
                        (self.sim.now + self.config.heartbeat_timeout, host))
         self.counters.incr("datanodes_registered")
@@ -158,6 +163,7 @@ class Namenode:
         if not desc.alive:
             desc.alive = True
             self._live_hosts[datanode.host] = None
+            self._live_index.add(datanode.host)
             heapq.heappush(self._hb_heap,
                            (self.sim.now + self.config.heartbeat_timeout,
                             datanode.host))
@@ -173,6 +179,7 @@ class Namenode:
         desc.alive = False
         host = desc.host
         self._live_hosts.pop(host, None)
+        self._live_index.discard(host)
         self.counters.incr("datanodes_declared_dead")
         for bid in list(self._host_blocks.get(host, ())):
             self._remove_replica(bid, host)
@@ -250,7 +257,7 @@ class Namenode:
             return
         order = sorted(self._needed,
                        key=lambda bid: self._blocks[bid].live_replica_count)
-        live = self.live_datanode_hosts()
+        live = self._live_hosts  # iterated, never copied
         scheduled = 0
         for bid in order:
             if scheduled >= work_limit:
@@ -269,7 +276,8 @@ class Namenode:
             size = info.block.size
             targets = self.placement.choose_targets(
                 None, missing, info.replicas | info.pending_targets, live,
-                lambda h: self._can_host_store(h, size))
+                lambda h: self._can_host_store(h, size),
+                site_index=self._live_index)
             for tgt in targets:
                 # Tie-break by hostname: replica sets iterate in hash
                 # order, and the choice must not depend on that.
@@ -289,7 +297,11 @@ class Namenode:
         tgt_dn = self._nodes[target].datanode
         src_dn.active_repl_streams += 1
         try:
-            yield tgt_dn.receive_block(info.block, source)
+            # One joint demand over source disk read + network path +
+            # target disk write: re-replication contends with live shuffle
+            # serves and reads at the source, like a real copy.
+            yield tgt_dn.receive_block(info.block, source,
+                                       source_disk=src_dn.disk)
             self.counters.incr("replications_completed")
         except Exception:
             info.pending_targets.discard(target)
@@ -311,11 +323,15 @@ class Namenode:
 
     def choose_write_targets(self, writer: Optional[str], size: float,
                              count: int, existing: Optional[Set[str]] = None) -> List[str]:
-        """Pick datanodes for a new block's replica pipeline."""
-        live = self.live_datanode_hosts()
+        """Pick datanodes for a new block's replica pipeline.
+
+        O(replicas chosen), not O(live datanodes): the believed-live host
+        dict is handed over uncopied and the per-site grouping comes from
+        the event-maintained :class:`~repro.hdfs.placement.LiveHostIndex`."""
         return self.placement.choose_targets(
-            writer, count, set(existing or ()), live,
-            lambda h: self._can_host_store(h, size))
+            writer, count, set(existing or ()), self._live_hosts,
+            lambda h: self._can_host_store(h, size),
+            site_index=self._live_index)
 
     # -- queries ------------------------------------------------------------------
     def live_datanode_hosts(self) -> List[str]:

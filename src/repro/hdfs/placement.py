@@ -12,17 +12,100 @@ against whole-site preemption bursts.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..net.topology import NetworkTopology
 
-__all__ = ["PlacementError", "PlacementPolicy", "SiteAwarePolicy", "RandomPolicy"]
+__all__ = ["PlacementError", "PlacementPolicy", "SiteAwarePolicy",
+           "RandomPolicy", "LiveHostIndex"]
 
 
 class PlacementError(Exception):
     """No viable targets exist for a block."""
+
+
+class LiveHostIndex:
+    """Event-maintained per-site live-host lists for the placement hot path.
+
+    :class:`SiteAwarePolicy` used to rebuild a ``site → hosts`` grouping
+    from the full candidate list for *every block placed* — the ROADMAP's
+    10k-node placement cost center.  The namenode keeps one of these
+    current instead (O(1) add/discard via swap-pop and a position map),
+    and placement draws from the cached lists directly.
+
+    Draws permute a site's list in place (swap-to-end); that is harmless —
+    each list is a set of hosts whose order carries no meaning — and every
+    swap goes through :meth:`swap` so positions stay exact.  All iteration
+    orders are insertion-ordered (dicts), never hash-ordered, preserving
+    the sim's hash-seed determinism.
+    """
+
+    __slots__ = ("_topology", "_lists", "_pos")
+
+    def __init__(self, topology: NetworkTopology) -> None:
+        self._topology = topology
+        self._lists: Dict[str, List[str]] = {}
+        #: host → (site, index into that site's list).
+        self._pos: Dict[str, Tuple[str, int]] = {}
+
+    def __contains__(self, host: str) -> bool:
+        return host in self._pos
+
+    def __len__(self) -> int:
+        return len(self._pos)
+
+    def add(self, host: str) -> None:
+        """Start tracking ``host`` (idempotent)."""
+        if host in self._pos:
+            return
+        site = self._topology.site_of(host)
+        lst = self._lists.setdefault(site, [])
+        self._pos[host] = (site, len(lst))
+        lst.append(host)
+
+    def discard(self, host: str) -> None:
+        """Stop tracking ``host`` (idempotent); O(1) swap-pop."""
+        entry = self._pos.pop(host, None)
+        if entry is None:
+            return
+        site, i = entry
+        lst = self._lists[site]
+        last = lst.pop()
+        if last != host:
+            lst[i] = last
+            self._pos[last] = (site, i)
+        if not lst:
+            del self._lists[site]
+
+    def site_of(self, host: str) -> Optional[str]:
+        """Site of a tracked host, or ``None`` if untracked."""
+        entry = self._pos.get(host)
+        return entry[0] if entry is not None else None
+
+    def sites(self) -> List[str]:
+        """Sites with at least one tracked host (insertion order)."""
+        return list(self._lists)
+
+    def site_size(self, site: str) -> int:
+        """Tracked hosts at ``site``."""
+        return len(self._lists.get(site, ()))
+
+    def site_list(self, site: str) -> List[str]:
+        """The *shared* mutable host list of ``site`` — callers must only
+        reorder it through :meth:`swap`."""
+        return self._lists[site]
+
+    def swap(self, site: str, i: int, j: int) -> None:
+        """Exchange two positions of a site's list, keeping the position
+        map consistent."""
+        if i == j:
+            return
+        lst = self._lists[site]
+        lst[i], lst[j] = lst[j], lst[i]
+        self._pos[lst[i]] = (site, i)
+        self._pos[lst[j]] = (site, j)
 
 
 class PlacementPolicy:
@@ -39,6 +122,7 @@ class PlacementPolicy:
         existing: Set[str],
         candidates: Sequence[str],
         space_ok: Callable[[str], bool],
+        site_index: Optional[LiveHostIndex] = None,
     ) -> List[str]:
         """Return up to ``count`` hosts for new replicas.
 
@@ -55,6 +139,10 @@ class PlacementPolicy:
             Live datanode hosts.
         space_ok:
             Capacity predicate.
+        site_index:
+            Optional pre-grouped view of ``candidates`` (must track the
+            same host set).  Policies that group by site use it to skip
+            the per-call grouping work; others may ignore it.
         """
         raise NotImplementedError
 
@@ -76,13 +164,19 @@ class SiteAwarePolicy(PlacementPolicy):
         self.topology = topology
         self.rng = rng
 
-    def choose_targets(self, writer, count, existing, candidates, space_ok):
+    def choose_targets(self, writer, count, existing, candidates, space_ok,
+                       site_index=None):
         """Pick targets per the site-spread rules (see class docstring).
 
         Capacity is probed lazily (only for hosts actually considered) and
         random tie-breaking uses swap-pop draws instead of shuffling every
         site's full host list — placement cost scales with the replica
-        count, not the cluster size."""
+        count, not the cluster size.  With ``site_index`` even the per-call
+        ``site → hosts`` grouping disappears: draws run directly against
+        the cached per-site lists (see :class:`LiveHostIndex`)."""
+        if site_index is not None:
+            return self._choose_from_index(writer, count, existing,
+                                           space_ok, site_index)
         chosen: List[str] = []
         taken: Set[str] = set(existing)
         by_site: Dict[str, List[str]] = {}
@@ -143,6 +237,62 @@ class SiteAwarePolicy(PlacementPolicy):
 
         return chosen
 
+    def _choose_from_index(self, writer, count, existing, space_ok,
+                           index: LiveHostIndex) -> List[str]:
+        """The cached-index fast path: same selection rules, zero grouping.
+
+        Per-call state is one ``site → remaining draw window`` map.  A draw
+        picks a random host inside the site's window, swaps it to the
+        window's end, and shrinks the window — so within one call no host
+        is considered twice (taken or full hosts fall out of the window),
+        while across calls the lists merely end up permuted."""
+        chosen: List[str] = []
+        taken: Set[str] = set(existing)
+        #: site → how many of its hosts are still drawable this call.
+        windows: Dict[str, int] = {s: index.site_size(s)
+                                   for s in index.sites()}
+        site_load: Dict[str, int] = {s: 0 for s in windows}
+        for h in taken:
+            s = self.topology.site_of(h)
+            if s in site_load:
+                site_load[s] += 1
+
+        def draw(site: str) -> Optional[str]:
+            lst = index.site_list(site)
+            window = windows[site]
+            while window > 0:
+                i = int(self.rng.integers(window))
+                host = lst[i]
+                index.swap(site, i, window - 1)
+                window -= 1
+                if host not in taken and space_ok(host):
+                    windows[site] = window
+                    return host
+            windows[site] = 0
+            return None
+
+        # 1. Writer-local replica.
+        if writer is not None and count > 0 and writer not in taken \
+                and writer in index and space_ok(writer):
+            wsite = index.site_of(writer)
+            chosen.append(writer)
+            taken.add(writer)
+            site_load[wsite] += 1
+
+        # 2. Always pick from the least-loaded domain.
+        while len(chosen) < count:
+            open_sites = [s for s in windows if windows[s] > 0]
+            if not open_sites:
+                break
+            site = min(open_sites, key=lambda s: (site_load[s], s))
+            host = draw(site)
+            if host is None:
+                continue
+            chosen.append(host)
+            taken.add(host)
+            site_load[site] += 1
+        return chosen
+
 
 class RandomPolicy(PlacementPolicy):
     """Topology-blind placement — the ablation baseline for site awareness
@@ -152,8 +302,10 @@ class RandomPolicy(PlacementPolicy):
     def __init__(self, rng: np.random.Generator) -> None:
         self.rng = rng
 
-    def choose_targets(self, writer, count, existing, candidates, space_ok):
-        """Pick ``count`` random viable hosts (writer-local first)."""
+    def choose_targets(self, writer, count, existing, candidates, space_ok,
+                       site_index=None):
+        """Pick ``count`` random viable hosts (writer-local first);
+        ``site_index`` is ignored (this policy is topology-blind)."""
         taken = set(existing)
         viable = [h for h in candidates if h not in taken and space_ok(h)]
         chosen: List[str] = []

@@ -33,7 +33,7 @@ store-and-forward).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..sim.channel import Constraint, Demand, FairQueue
@@ -72,11 +72,19 @@ class FabricConfig:
     #: expected that the startup and data transfer initiations will be
     #: increased" (§III-B2).
     handshake_rtts: float = 0.0
+    #: Per-site WAN bandwidth overrides, bytes/second, keyed by topology
+    #: site name (the DNS domain, e.g. ``"fnal.gov"``).  Sites not listed
+    #: keep ``site_uplink_bandwidth``.  This is what heterogeneous-WAN
+    #: scenarios tune: a throttled site uplink is shared by that site's
+    #: shuffle traffic, HDFS replication, *and* glidein package downloads.
+    site_uplink_overrides: Dict[str, float] = field(default_factory=dict)
 
     def validate(self) -> None:
         """Raise ``ValueError`` on non-physical settings."""
         if self.nic_bandwidth <= 0 or self.site_uplink_bandwidth <= 0:
             raise ValueError("bandwidths must be positive")
+        if any(v <= 0 for v in self.site_uplink_overrides.values()):
+            raise ValueError("site uplink overrides must be positive")
         if self.intra_site_latency < 0 or self.inter_site_latency < 0:
             raise ValueError("latencies cannot be negative")
         if self.connection_overhead < 0 or self.handshake_rtts < 0:
@@ -185,8 +193,9 @@ class NetworkFabric:
         table = self._site_tx if direction == "tx" else self._site_rx
         link = table.get(site)
         if link is None:
-            link = Link(f"wan-{direction}:{site}",
-                        self.config.site_uplink_bandwidth, partition=site)
+            capacity = self.config.site_uplink_overrides.get(
+                site, self.config.site_uplink_bandwidth)
+            link = Link(f"wan-{direction}:{site}", capacity, partition=site)
             table[site] = link
         return link
 

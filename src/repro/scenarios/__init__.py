@@ -1,0 +1,38 @@
+"""Declarative scenarios: a registry of composable grid/workload setups
+with one unified runner.
+
+- :mod:`repro.scenarios.spec` — :class:`ScenarioSpec` and its parts
+  (cluster shape, workload, fault model), dict/JSON round-trippable
+- :mod:`repro.scenarios.registry` — named built-ins (``baseline``,
+  ``contended``, ``wan_staging``, ``hetero_tiers``,
+  ``rebalance_under_load``, ``churn_heavy``)
+- :mod:`repro.scenarios.runner` — :class:`ScenarioRunner` →
+  :class:`ScenarioResult` (makespan, per-phase wall/sim time,
+  channel-core stats, locality and preemption counters)
+- :mod:`repro.scenarios.calibration` — shared calibrated constants
+- ``python -m repro.scenarios.run <name>`` — the CLI
+"""
+
+from . import calibration, registry
+from .runner import (
+    PhaseStat,
+    ScenarioResult,
+    ScenarioRunner,
+    collect_result,
+    drive_workload,
+)
+from .spec import ClusterSpec, FaultSpec, ScenarioSpec, WorkloadSpec
+
+__all__ = [
+    "calibration",
+    "registry",
+    "ClusterSpec",
+    "WorkloadSpec",
+    "FaultSpec",
+    "ScenarioSpec",
+    "ScenarioRunner",
+    "ScenarioResult",
+    "PhaseStat",
+    "drive_workload",
+    "collect_result",
+]

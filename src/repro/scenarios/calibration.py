@@ -1,0 +1,114 @@
+"""Calibration constants shared by every scenario and experiment.
+
+(The module lives under :mod:`repro.scenarios` so the scenario registry —
+which the experiment drivers consume — can use it without an import
+cycle; :mod:`repro.experiments.calibration` re-exports it unchanged.)
+
+Per DESIGN.md §5 we do not chase the paper's absolute seconds — our
+substrate is a simulator, not the 2012 OSG — but these constants are tuned
+so the *shape* of the evaluation holds:
+
+- the Table III cluster lands in the paper's ≈3.9 k-second response band
+  on the Table II workload,
+- HOG's response-vs-size curve crosses the cluster line near 100 nodes,
+- churn (Fig 5 / Table IV) orders response times correctly.
+
+Everything here is shared verbatim between HOG and the baselines, so none
+of it biases the comparison.
+"""
+
+from __future__ import annotations
+
+from ..grid.site import SitePolicy
+from ..net.fabric import FabricConfig
+from ..workload.schedule import LoadgenParams
+
+__all__ = [
+    "default_loadgen",
+    "grid_fabric",
+    "cluster_fabric",
+    "grid_node_config",
+    "stable_policy",
+    "default_grid_policy",
+    "unstable_policy",
+    "PAPER_FIG4_NODE_COUNTS",
+    "PAPER_TABLE4",
+    "PAPER_CLUSTER_RESPONSE_BAND",
+]
+
+#: The HOG node counts sampled in Figure 4's x-axis.
+PAPER_FIG4_NODE_COUNTS = (40, 50, 55, 60, 99, 100, 132, 160, 171, 180, 974, 1101)
+
+#: Table IV verbatim: figure panel → (response time s, area node·s).
+PAPER_TABLE4 = {"5a": (4396.0, 181020.0),
+                "5b": (3896.0, 172360.0),
+                "5c": (6235.0, 252455.0)}
+
+#: Figure 4's dashed line (the 100-core cluster) sits in this band.
+PAPER_CLUSTER_RESPONSE_BAND = (3000.0, 4500.0)
+
+
+def default_loadgen() -> LoadgenParams:
+    """Loadgen cost model for the Table II workload."""
+    return LoadgenParams(
+        map_cpu_per_block=70.0,
+        reduce_cpu=140.0,
+        map_output_ratio=2.0,
+        reduce_output_ratio=0.3,
+    )
+
+
+def grid_fabric() -> FabricConfig:
+    """The OSG-like network: 1 Gbps NICs, 10 Gbps shared site uplinks,
+    40 ms WAN latency, and a 4-RTT per-transfer handshake (HTTP over the
+    WAN, §III-B2)."""
+    return FabricConfig(
+        nic_bandwidth=125e6,
+        site_uplink_bandwidth=1250e6,
+        intra_site_latency=0.0005,
+        inter_site_latency=0.040,
+        handshake_rtts=4.0,
+    )
+
+
+def cluster_fabric() -> FabricConfig:
+    """The dedicated cluster's LAN (single rack; uplink unused)."""
+    return FabricConfig(
+        nic_bandwidth=125e6,
+        site_uplink_bandwidth=1250e6,
+        intra_site_latency=0.0005,
+        inter_site_latency=0.040,
+    )
+
+
+def stable_policy() -> SitePolicy:
+    """Low-churn grid conditions (Figures 5a/5b): occasional per-node
+    preemptions, no bursts."""
+    return SitePolicy(preempt_rate=1.0 / 6000.0, burst_rate=0.0,
+                      scheduling_delay_mean=30.0)
+
+
+def default_grid_policy() -> SitePolicy:
+    """Typical opportunistic conditions used for the Figure 4 sweep."""
+    return SitePolicy(preempt_rate=1.0 / 5000.0, burst_rate=1.0 / 3000.0,
+                      burst_fraction=0.15, scheduling_delay_mean=30.0)
+
+
+def unstable_policy() -> SitePolicy:
+    """Heavy churn (Figure 5c): faster per-node preemption plus frequent
+    simultaneous-preemption bursts."""
+    return SitePolicy(preempt_rate=1.0 / 1500.0, burst_rate=1.0 / 700.0,
+                      burst_fraction=0.35, scheduling_delay_mean=30.0)
+
+
+def grid_node_config():
+    """Hardware model of opportunistic grid workers.
+
+    Grid slots are shared, virtualized, or background-loaded in ways a
+    dedicated cluster's cores are not; we model an effective per-core
+    speed of 0.75-0.85x the Table III cluster's cores.  This constant
+    (together with the loadgen costs) places the equivalent-performance
+    crossover near the paper's [99, 100] nodes.
+    """
+    from ..core.config import NodeConfig
+    return NodeConfig(speed_min=0.75, speed_max=0.85)

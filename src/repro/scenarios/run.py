@@ -1,0 +1,105 @@
+"""Command-line entry point for the scenario registry.
+
+Usage::
+
+    python -m repro.scenarios.run <name> [--nodes N] [--scale X] [--seed S]
+    python -m repro.scenarios.run all --smoke
+    python -m repro.scenarios.run --list
+    python -m repro.scenarios.run <name> --show-spec
+    python -m repro.scenarios.run <name> --output result.json
+
+Runs any registered scenario at any node count and prints (or writes) its
+structured :class:`~repro.scenarios.runner.ScenarioResult` as JSON.
+``--smoke`` shrinks every scenario to a couple of wall-seconds (a few
+dozen nodes, a tiny workload slice) — the fast test tier drives exactly
+this mode so the registry cannot rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import registry
+from .runner import ScenarioRunner
+
+#: --smoke sizing: small enough for CI seconds, large enough that every
+#: scenario still exercises its distinguishing machinery (multiple sites,
+#: churn replacement, balancer moves).
+SMOKE_NODES = 24
+SMOKE_SCALE = 0.04
+
+
+def _run_one(name: str, args) -> dict:
+    spec = registry.build(name, n_nodes=args.nodes, scale=args.scale,
+                          seed=args.seed)
+    if args.show_spec:
+        print(spec.to_json())
+        return {}
+    runner = ScenarioRunner(spec)
+    print(f"[scenario] running {name!r} at {spec.cluster.n_nodes} nodes, "
+          f"scale {spec.workload.scale} ...", file=sys.stderr, flush=True)
+    result = runner.run()
+    print(f"[scenario]   {result.summary()}", file=sys.stderr, flush=True)
+    return result.to_dict()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.scenarios.run", description=__doc__.splitlines()[0])
+    parser.add_argument("name", nargs="?",
+                        help="scenario name, or 'all' for every "
+                             "registered scenario")
+    parser.add_argument("--list", action="store_true",
+                        help="print the scenario catalogue and exit")
+    parser.add_argument("--show-spec", action="store_true",
+                        help="print the resolved ScenarioSpec JSON "
+                             "instead of running")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="worker-node target (default: per-scenario)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale in (0, 1] "
+                             "(default: per-scenario)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"tiny run ({SMOKE_NODES} nodes, scale "
+                             f"{SMOKE_SCALE}) for the fast test tier")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the result JSON here instead of stdout")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, desc in registry.describe().items():
+            print(f"{name:22s} {desc}")
+        return 0
+    if not args.name:
+        parser.error("a scenario name (or 'all', or --list) is required")
+    if args.smoke:
+        args.nodes = args.nodes or SMOKE_NODES
+        args.scale = args.scale or SMOKE_SCALE
+
+    targets = registry.names() if args.name == "all" else [args.name]
+    unknown = [n for n in targets if n not in registry.names()]
+    if unknown:
+        parser.error(f"unknown scenario(s): {', '.join(unknown)}; "
+                     f"try --list")
+
+    records = [_run_one(name, args) for name in targets]
+    if args.show_spec:
+        return 0
+    payload = records[0] if len(records) == 1 else records
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.output is not None:
+        args.output.write_text(text)
+        print(f"[scenario] wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

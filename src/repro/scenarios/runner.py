@@ -1,0 +1,381 @@
+"""The unified scenario runner.
+
+One code path stands up ANY scenario — fig4-style sweeps, churn studies,
+WAN-staging stress, heterogeneous disk tiers, rebalancing under load —
+from its declarative :class:`~repro.scenarios.spec.ScenarioSpec`:
+
+1. build the :class:`~repro.core.hog.HOGSystem` (per-site hardware tiers
+   and WAN caps applied),
+2. ramp to the node target (event-driven, §IV-A protocol),
+3. arm the fault model (pinned trace replay and/or stochastic policy),
+4. preload the workload inputs,
+5. optionally grow the cluster elastically and start a concurrent HDFS
+   balancer run (§IV-C),
+6. replay the submission schedule to completion,
+7. emit a structured, JSON-ready :class:`ScenarioResult` — makespan,
+   per-phase wall/sim time, channel-core pass statistics, locality and
+   preemption counters.
+
+The experiment drivers (fig4/fig5) and the scale-sweep benchmark are thin
+consumers of this runner; they carry no private setup code.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.config import HOGConfig
+from ..core.hog import HOGSystem
+from ..grid.glidein import WrapperConfig
+from ..grid.preemption import TraceDriver
+from ..grid.site import SitePolicy, sites_with_policy
+from ..hdfs.balancer import Balancer
+from ..hdfs.config import hog_config
+from ..mapreduce.config import hog_mr_config
+from ..metrics.report import WorkloadResult
+from ..sim.engine import Simulator
+from ..sim.monitor import StepSeries
+from ..workload.schedule import SubmissionSchedule, build_facebook_schedule
+from . import calibration
+from .spec import ScenarioSpec
+
+__all__ = ["PhaseStat", "ScenarioResult", "ScenarioRunner",
+           "drive_workload", "collect_result"]
+
+#: Channel-core statistics recorded per run (names match the FairQueue
+#: attributes and the scale-sweep benchmark's JSON fields).
+CHANNEL_STATS = ("rebalances", "uniform_groups", "uniform_completions",
+                 "cross_partition_passes", "starvation_rescues",
+                 "peak_demands")
+
+
+# -- shared workload-driving helpers (the single copy in the codebase) ----
+def _submission_process(sim, system, schedule: SubmissionSchedule, jobs: list):
+    """Replay the schedule: sleep each exponential gap, submit; then wait
+    (event-driven) for every submitted job to finish."""
+    last = 0.0
+    for item in schedule.jobs:
+        gap = item.submit_time - last
+        if gap > 0:
+            yield sim.timeout(gap)
+        last = item.submit_time
+        jobs.append((system.submit(item.spec), item.bin_id))
+    if jobs:
+        yield system.jobtracker.when_jobs_done([j for j, _ in jobs])
+
+
+def drive_workload(sim, system, schedule: SubmissionSchedule, jobs: list,
+                   timeout: float) -> None:
+    """Run the submission replay to completion (or ``timeout`` sim-seconds).
+
+    The driver process finishes at the exact instant the last job does;
+    the engine advances straight through real events instead of polling
+    job states."""
+    driver = sim.process(_submission_process(sim, system, schedule, jobs),
+                         name="workload-submitter")
+    sim.run_until(driver, sim.now + timeout)
+
+
+def collect_result(system_name: str, nodes: int, jobs, start: float,
+                   end: float, series: Optional[StepSeries],
+                   jobtracker) -> WorkloadResult:
+    """Fold per-job outcomes into one :class:`WorkloadResult`."""
+    bin_responses: Dict[int, List[float]] = {}
+    failed = 0
+    locality = {"data_local": 0, "site_local": 0, "remote": 0}
+    for job, bin_id in jobs:
+        if job.response_time is None or job.status != "succeeded":
+            failed += 1
+            continue
+        bin_responses.setdefault(bin_id, []).append(job.response_time)
+        for k, v in job.locality_counters.items():
+            locality[k] += v
+    area = series.integrate(start, end) if series is not None else None
+    return WorkloadResult(
+        system=system_name, nodes=nodes, start_time=start, end_time=end,
+        bin_responses=bin_responses, failed_jobs=failed, node_area=area,
+        locality=locality, counters=jobtracker.counters.as_dict())
+
+
+# -- results ---------------------------------------------------------------
+@dataclass
+class PhaseStat:
+    """Wall/sim cost of one runner phase."""
+
+    name: str
+    wall_seconds: float
+    sim_seconds: float
+
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "wall_seconds": round(self.wall_seconds, 3),
+                "sim_seconds": round(self.sim_seconds, 1)}
+
+
+@dataclass
+class ScenarioResult:
+    """Structured outcome of one scenario run (JSON-ready).
+
+    ``payload()`` strips the wall-clock fields, leaving only
+    simulation-determined values — two runs of the same spec and seed must
+    produce identical payloads (the determinism guard asserts this).
+    """
+
+    scenario: str
+    nodes: int
+    seed: int
+    scale: float
+    #: Workload response time: first submission → last completion (§IV-A).
+    makespan_seconds: float
+    #: Simulated span of the whole run (ramp through drain).
+    sim_seconds: float
+    wall_seconds: float
+    events: int
+    phases: List[PhaseStat] = field(default_factory=list)
+    #: Channel-core pass statistics plus the fabric's peak flow count.
+    channel: Dict[str, int] = field(default_factory=dict)
+    #: Map-launch locality histogram summed over jobs.
+    locality: Dict[str, int] = field(default_factory=dict)
+    #: Glidein provisioning/preemption counters from the factory.
+    preemptions: Dict[str, int] = field(default_factory=dict)
+    failed_jobs: int = 0
+    jobs_completed: int = 0
+    #: Area beneath the believed-node curve over the workload (Table IV).
+    node_area: Optional[float] = None
+    #: Concurrent-balancer outcome, when the scenario ran one.
+    balancer: Optional[Dict[str, object]] = None
+
+    @property
+    def events_per_second(self) -> Optional[int]:
+        """Engine throughput over the whole run (wall-derived)."""
+        if self.wall_seconds <= 0:
+            return None
+        return round(self.events / self.wall_seconds)
+
+    def to_dict(self) -> dict:
+        """Full JSON-ready record (wall-clock fields included)."""
+        return {
+            "scenario": self.scenario,
+            "nodes": self.nodes,
+            "seed": self.seed,
+            "scale": self.scale,
+            "makespan_seconds": round(self.makespan_seconds, 1),
+            "sim_seconds": round(self.sim_seconds, 1),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "events": self.events,
+            "events_per_second": self.events_per_second,
+            "phases": [p.to_dict() for p in self.phases],
+            "channel": dict(self.channel),
+            "locality": dict(self.locality),
+            "preemptions": dict(self.preemptions),
+            "failed_jobs": self.failed_jobs,
+            "jobs_completed": self.jobs_completed,
+            "node_area": (None if self.node_area is None
+                          else round(self.node_area, 1)),
+            "balancer": self.balancer,
+        }
+
+    def payload(self) -> dict:
+        """Simulation-determined subset of :meth:`to_dict` (no wall
+        clocks) — identical across same-seed runs."""
+        d = self.to_dict()
+        d.pop("wall_seconds")
+        d.pop("events_per_second")
+        d["phases"] = [{"name": p["name"], "sim_seconds": p["sim_seconds"]}
+                       for p in d["phases"]]
+        return d
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize the full record to JSON."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def summary(self) -> str:
+        """One human-readable line."""
+        return (f"{self.scenario}[{self.nodes}]: makespan="
+                f"{self.makespan_seconds:.0f}s sim={self.sim_seconds:.0f}s "
+                f"wall={self.wall_seconds:.2f}s events={self.events} "
+                f"failed={self.failed_jobs}")
+
+
+# -- the runner ------------------------------------------------------------
+class ScenarioRunner:
+    """Builds, runs, and measures one :class:`ScenarioSpec`.
+
+    After :meth:`run`, ``self.system`` (the live
+    :class:`~repro.core.hog.HOGSystem`) and ``self.workload`` (the
+    :class:`~repro.metrics.report.WorkloadResult`) stay available for
+    consumers that need more than the :class:`ScenarioResult` — fig5 reads
+    the believed-node series, fig4 the per-bin responses.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        spec.validate()
+        self.spec = spec
+        self.sim: Optional[Simulator] = None
+        self.system: Optional[HOGSystem] = None
+        self.workload: Optional[WorkloadResult] = None
+        self.result: Optional[ScenarioResult] = None
+
+    # -- construction ------------------------------------------------------
+    def build_config(self) -> HOGConfig:
+        """Resolve the spec (``None`` → calibrated defaults) into a
+        concrete :class:`~repro.core.config.HOGConfig`."""
+        spec = self.spec
+        c = spec.cluster
+        policy = spec.faults.policy
+        if policy is None:
+            if spec.faults.trace is not None:
+                # A pinned trace with no stochastic policy: churn-free
+                # sites, the trace is the only preemption source.
+                policy = SitePolicy()
+            else:
+                policy = calibration.default_grid_policy()
+        capacity_target = max(c.n_nodes, spec.grow_to or 0)
+        sites = sites_with_policy(policy, capacity_target, c.n_sites,
+                                  headroom=c.capacity_headroom)
+        fabric = c.fabric or calibration.grid_fabric()
+        if c.uplink_caps:
+            fabric = replace(fabric, site_uplink_overrides={
+                **fabric.site_uplink_overrides, **c.uplink_caps})
+        mr = c.mr or hog_mr_config()
+        if mr.scheduler != spec.scheduler:
+            mr = replace(mr, scheduler=spec.scheduler)
+        return HOGConfig(
+            sites=sites,
+            hdfs=c.hdfs or hog_config(),
+            mr=mr,
+            fabric=fabric,
+            wrapper=c.wrapper or WrapperConfig(),
+            node=c.node or calibration.grid_node_config(),
+            site_nodes=dict(c.site_tiers),
+            site_awareness=c.site_awareness,
+            seed=spec.seed,
+        )
+
+    def build_schedule(self) -> SubmissionSchedule:
+        """The submission schedule this scenario replays."""
+        w = self.spec.workload
+        if w.schedule is not None:
+            return w.schedule
+        rng = np.random.default_rng(self.spec.seed + 77)
+        return build_facebook_schedule(
+            rng, w.loadgen or calibration.default_loadgen(),
+            mean_interarrival=w.mean_interarrival, scale=w.scale)
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        """Execute the scenario end-to-end; returns its result record."""
+        spec = self.spec
+        c = spec.cluster
+        sim = Simulator()
+        hog = HOGSystem(sim, self.build_config())
+        self.sim, self.system = sim, hog
+
+        phases: List[PhaseStat] = []
+        wall_start = time.perf_counter()
+
+        def phase(name: str, t0: float, s0: float) -> None:
+            phases.append(PhaseStat(name, time.perf_counter() - t0,
+                                    sim.now - s0))
+
+        # 1. Ramp: wait for the node target (§IV-A).
+        t0, s0 = time.perf_counter(), sim.now
+        hog.start(c.n_nodes)
+        ramp_target = max(1, math.ceil(c.n_nodes * c.ramp_fraction))
+        hog.run_until_nodes(ramp_target, timeout=spec.timeout)
+        phase("ramp", t0, s0)
+
+        # 2. Pinned fault replay starts once the cluster is up.
+        driver: Optional[TraceDriver] = None
+        if spec.faults.trace is not None:
+            driver = TraceDriver(sim, hog.factory, spec.faults.trace)
+            driver.start()
+
+        # 3. Preload the workload inputs (the §IV-A data upload).
+        t0, s0 = time.perf_counter(), sim.now
+        schedule = self.build_schedule()
+        for input_file, n_blocks in schedule.inputs.items():
+            hog.preload_input(input_file, n_blocks)
+        phase("preload", t0, s0)
+
+        # 4. Optional elastic growth (§IV-C): fresh nodes join empty.
+        if spec.grow_to is not None and spec.grow_to > c.n_nodes:
+            t0, s0 = time.perf_counter(), sim.now
+            hog.set_target(spec.grow_to)
+            grow_target = max(1, math.ceil(spec.grow_to * c.ramp_fraction))
+            hog.run_until_nodes(grow_target, timeout=spec.timeout)
+            phase("grow", t0, s0)
+
+        # 5. Optional concurrent balancer run.
+        balance_ev = None
+        if spec.balance_during_run:
+            balance_ev = Balancer(
+                sim, hog.namenode,
+                threshold=spec.balancer_threshold).run()
+
+        # 6. The workload itself.
+        t0, s0 = time.perf_counter(), sim.now
+        jobs: list = []
+        start = sim.now
+        drive_workload(sim, hog, schedule, jobs, spec.timeout)
+        end = sim.now
+        phase("workload", t0, s0)
+
+        # 7. Drain the balancer if it is still moving blocks.
+        balancer_info: Optional[Dict[str, object]] = None
+        if balance_ev is not None:
+            if not balance_ev.triggered:
+                t0, s0 = time.perf_counter(), sim.now
+                sim.run_until(balance_ev, sim.now + spec.timeout)
+                phase("drain", t0, s0)
+            if balance_ev.triggered:
+                report = balance_ev.value
+                balancer_info = {
+                    "completed": True,
+                    "converged": report.converged,
+                    "moved_blocks": report.moved_blocks,
+                    "moved_bytes": round(report.moved_bytes, 1),
+                    "iterations": report.iterations,
+                }
+            else:
+                balancer_info = {"completed": False}
+
+        wall = time.perf_counter() - wall_start
+        self.workload = collect_result(
+            "HOG", c.n_nodes, jobs, start, end, hog.believed_series,
+            hog.jobtracker)
+
+        channel = hog.fabric.channel
+        stats = {name: getattr(channel, name) for name in CHANNEL_STATS}
+        stats["peak_flows"] = hog.fabric.peak_flows
+        preempt = {k: v for k, v in hog.factory.counters.as_dict().items()
+                   if k.startswith(("glideins", "preemption"))}
+        if driver is not None:
+            preempt["trace_events_skipped"] = driver.skipped
+
+        self.result = ScenarioResult(
+            scenario=spec.name,
+            nodes=c.n_nodes,
+            seed=spec.seed,
+            scale=spec.workload.scale,
+            makespan_seconds=self.workload.response_time,
+            sim_seconds=sim.now,
+            wall_seconds=wall,
+            events=sim.events_processed,
+            phases=phases,
+            channel=stats,
+            locality=self.workload.locality,
+            preemptions=preempt,
+            failed_jobs=self.workload.failed_jobs,
+            jobs_completed=sum(len(v) for v in
+                               self.workload.bin_responses.values()),
+            node_area=self.workload.node_area,
+            balancer=balancer_info,
+        )
+        return self.result

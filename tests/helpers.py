@@ -20,6 +20,7 @@ class HdfsHarness:
                  config: Optional[HdfsConfig] = None,
                  disk_capacity: float = 100e9,
                  fabric_config: Optional[FabricConfig] = None,
+                 shared_channel: bool = False,
                  seed: int = 7) -> None:
         self.sim = Simulator()
         self.topology = NetworkTopology(DnsSiteResolver())
@@ -29,6 +30,9 @@ class HdfsHarness:
                 nic_bandwidth=100e6, site_uplink_bandwidth=500e6,
                 intra_site_latency=0.0005, inter_site_latency=0.04))
         self.config = config or HdfsConfig()
+        #: True = disks drain through the fabric's channel (the HOG worker
+        #: wiring), enabling joint disk+network streaming demands.
+        self.shared_channel = shared_channel
         rng = np.random.default_rng(seed)
         self.namenode = Namenode(
             self.sim, self.topology,
@@ -40,8 +44,14 @@ class HdfsHarness:
             site = f"site{i % n_sites}.edu"
             self.add_datanode(f"node{i:03d}.{site}")
 
-    def add_datanode(self, host: str) -> Datanode:
-        disk = Disk(self.sim, host, self.disk_capacity)
+    def add_datanode(self, host: str, read_rate: float = 90e6,
+                     write_rate: float = 70e6) -> Datanode:
+        kwargs = {}
+        if self.shared_channel:
+            kwargs = dict(channel=self.fabric.channel,
+                          partition=self.topology.site_of(host))
+        disk = Disk(self.sim, host, self.disk_capacity,
+                    read_rate, write_rate, **kwargs)
         dn = Datanode(self.sim, host, disk, self.fabric, self.namenode, self.config)
         dn.start()
         self.datanodes[host] = dn

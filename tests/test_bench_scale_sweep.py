@@ -45,6 +45,21 @@ class TestSmokeMode:
         # disks: it must produce strictly more concurrent demand pressure.
         assert cont["peak_demands"] >= base["peak_demands"]
 
+        # The per-scenario coverage section: every registry scenario that
+        # the sweep itself does not already exercise gets a full
+        # ScenarioResult record.
+        section = report["scenarios"]
+        assert set(section) >= {"wan_staging", "hetero_tiers",
+                                "rebalance_under_load", "churn_heavy"}
+        for name, record in section.items():
+            assert record["scenario"] == name
+            assert record["events"] > 0
+            assert record["makespan_seconds"] > 0
+            assert [p["name"] for p in record["phases"]][:2] == \
+                ["ramp", "preload"]
+        # rebalance_under_load must really have balanced under load.
+        assert section["rebalance_under_load"]["balancer"]["moved_blocks"] > 0
+
     def test_contended_scenario_is_disk_throttled(self):
         bench = _load_bench_module()
         node = bench.contended_node()

@@ -170,6 +170,134 @@ class TestPlacement:
         assert "n1.s.edu" not in targets
 
 
+class TestLiveHostIndex:
+    def _index(self, hosts):
+        from repro.hdfs import LiveHostIndex
+        topo = NetworkTopology(DnsSiteResolver())
+        idx = LiveHostIndex(topo)
+        for h in hosts:
+            idx.add(h)
+        return topo, idx
+
+    def test_add_groups_by_site(self):
+        hosts = [f"n{i}.s{i % 3}.edu" for i in range(9)]
+        _, idx = self._index(hosts)
+        assert len(idx) == 9
+        assert sorted(idx.sites()) == ["s0.edu", "s1.edu", "s2.edu"]
+        for site in idx.sites():
+            assert idx.site_size(site) == 3
+            assert all(idx.site_of(h) == site for h in idx.site_list(site))
+
+    def test_add_is_idempotent(self):
+        _, idx = self._index(["a.x.edu", "a.x.edu"])
+        assert len(idx) == 1 and idx.site_size("x.edu") == 1
+
+    def test_discard_swap_pop_keeps_positions_exact(self):
+        hosts = [f"n{i}.s0.edu" for i in range(5)]
+        _, idx = self._index(hosts)
+        idx.discard("n1.s0.edu")  # middle removal: last host swaps in
+        idx.discard("n4.s0.edu")  # the swapped-in host, by its new position
+        assert "n1.s0.edu" not in idx and "n4.s0.edu" not in idx
+        assert sorted(idx.site_list("s0.edu")) == \
+            ["n0.s0.edu", "n2.s0.edu", "n3.s0.edu"]
+        # Empty sites disappear entirely.
+        for h in list(idx.site_list("s0.edu")):
+            idx.discard(h)
+        assert idx.sites() == [] and len(idx) == 0
+
+    def test_swap_keeps_discard_working(self):
+        hosts = [f"n{i}.s0.edu" for i in range(4)]
+        _, idx = self._index(hosts)
+        idx.swap("s0.edu", 0, 3)
+        idx.swap("s0.edu", 1, 2)
+        for h in hosts:
+            assert h in idx
+            idx.discard(h)
+        assert len(idx) == 0
+
+
+class TestPlacementWithIndex:
+    """SiteAwarePolicy's cached-index fast path obeys the same selection
+    rules as the per-call grouping path."""
+
+    def _setup(self, n=9, n_sites=3, seed=0):
+        from repro.hdfs import LiveHostIndex
+        topo = NetworkTopology(DnsSiteResolver())
+        pol = SiteAwarePolicy(topo, np.random.default_rng(seed))
+        hosts = [f"n{i}.s{i % n_sites}.edu" for i in range(n)]
+        idx = LiveHostIndex(topo)
+        for h in hosts:
+            idx.add(h)
+        return topo, pol, hosts, idx
+
+    def test_writer_gets_first_replica(self):
+        topo, pol, hosts, idx = self._setup()
+        targets = pol.choose_targets(hosts[0], 3, set(), hosts,
+                                     lambda h: True, site_index=idx)
+        assert targets[0] == hosts[0]
+        assert len(targets) == 3
+
+    def test_second_replica_different_site(self):
+        topo, pol, hosts, idx = self._setup()
+        targets = pol.choose_targets(hosts[0], 3, set(), hosts,
+                                     lambda h: True, site_index=idx)
+        assert topo.site_of(targets[1]) != topo.site_of(targets[0])
+
+    def test_replicas_spread_across_sites(self):
+        topo, pol, hosts, idx = self._setup()
+        targets = pol.choose_targets(hosts[0], 6, set(), hosts,
+                                     lambda h: True, site_index=idx)
+        per_site = {}
+        for t in targets:
+            per_site[topo.site_of(t)] = per_site.get(topo.site_of(t), 0) + 1
+        assert sorted(per_site.values()) == [2, 2, 2]
+
+    def test_existing_replicas_never_rechosen(self):
+        topo, pol, hosts, idx = self._setup(n=6)
+        existing = {hosts[0], hosts[1]}
+        targets = pol.choose_targets(None, 2, existing, hosts,
+                                     lambda h: True, site_index=idx)
+        assert len(targets) == 2
+        assert not (set(targets) & existing)
+
+    def test_space_constraint_respected(self):
+        topo, pol, hosts, idx = self._setup(n=6)
+        full = {hosts[0], hosts[2]}
+        targets = pol.choose_targets(hosts[0], 4, set(), hosts,
+                                     lambda h: h not in full, site_index=idx)
+        assert not (set(targets) & full)
+        assert len(targets) == 4
+
+    def test_fewer_candidates_than_replicas(self):
+        topo, pol, hosts, idx = self._setup(n=2, n_sites=2)
+        targets = pol.choose_targets(None, 10, set(), hosts,
+                                     lambda h: True, site_index=idx)
+        assert sorted(targets) == sorted(hosts)
+
+    def test_draws_never_duplicate_within_one_call(self):
+        _, pol, hosts, idx = self._setup(n=30, n_sites=3, seed=5)
+        for _ in range(50):
+            targets = pol.choose_targets(None, 10, set(), hosts,
+                                         lambda h: True, site_index=idx)
+            assert len(targets) == len(set(targets)) == 10
+
+    def test_namenode_index_tracks_deaths(self):
+        """The cached index follows register → death → re-register, so
+        placement never returns a believed-dead host."""
+        from repro.hdfs import hog_config
+        from helpers import HdfsHarness
+        h = HdfsHarness(n_nodes=6, n_sites=3, config=hog_config(replication=2))
+        victim = h.hosts()[0]
+        assert victim in h.namenode._live_index
+        h.datanodes[victim].kill()
+        h.run(until=h.sim.now + 2 * h.config.heartbeat_timeout)
+        assert victim not in h.namenode._live_index
+        for _ in range(20):
+            targets = h.namenode.choose_write_targets("central.unl.edu",
+                                                      1.0, 3)
+            assert victim not in targets
+
+
 class TestWriteRead:
     def test_pipeline_write_places_replication_factor(self):
         h = HdfsHarness(n_nodes=6, n_sites=3)

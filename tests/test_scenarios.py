@@ -1,0 +1,234 @@
+"""Tests for the declarative scenario subsystem (spec / registry / runner /
+CLI) plus the determinism guard."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.grid.preemption import PreemptionEvent, PreemptionTrace
+from repro.grid.site import PAPER_SITE_DOMAINS, PAPER_SITE_NAMES, SitePolicy
+from repro.mapreduce.job import JobSpec
+from repro.scenarios import (
+    ClusterSpec,
+    FaultSpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    WorkloadSpec,
+    registry,
+)
+from repro.scenarios.run import main as cli_main
+from repro.workload.schedule import ScheduledJob, SubmissionSchedule
+
+ALL_SCENARIOS = ("baseline", "contended", "wan_staging", "hetero_tiers",
+                 "rebalance_under_load", "churn_heavy")
+
+#: Tiny sizing shared by every end-to-end test in this file.
+SMOKE = dict(n_nodes=24, scale=0.04)
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        assert set(ALL_SCENARIOS) <= set(registry.names())
+
+    def test_descriptions_are_one_liners(self):
+        for name, desc in registry.describe().items():
+            assert desc and "\n" not in desc, name
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            registry.build("nonsense")
+
+    def test_builders_honour_overrides(self):
+        spec = registry.build("baseline", n_nodes=17, scale=0.5, seed=9)
+        assert spec.cluster.n_nodes == 17
+        assert spec.workload.scale == 0.5
+        assert spec.seed == 9
+
+    def test_contended_is_disk_throttled_and_shuffle_heavy(self):
+        from repro.scenarios import calibration
+        spec = registry.build("contended")
+        base = calibration.default_loadgen()
+        assert spec.cluster.node.disk_read_rate < 90e6
+        assert spec.workload.loadgen.map_output_ratio > base.map_output_ratio
+
+    def test_wan_staging_caps_every_site_uplink(self):
+        spec = registry.build("wan_staging")
+        for domain in PAPER_SITE_DOMAINS:
+            assert spec.cluster.uplink_caps[domain] < 1250e6
+
+    def test_hetero_tiers_mixes_disk_speeds(self):
+        spec = registry.build("hetero_tiers")
+        rates = {n.disk_read_rate for n in spec.cluster.site_tiers.values()}
+        assert len(rates) >= 2  # at least two distinct tiers
+
+    def test_rebalance_scenario_grows_and_balances(self):
+        spec = registry.build("rebalance_under_load", n_nodes=20)
+        assert spec.grow_to > 20
+        assert spec.balance_during_run
+
+    def test_churn_heavy_trace_is_sorted_and_sited(self):
+        spec = registry.build("churn_heavy")
+        trace = spec.faults.trace
+        assert len(trace) > 0
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)
+        assert all(e.site in PAPER_SITE_NAMES for e in trace.events)
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("name", ALL_SCENARIOS)
+    def test_registry_specs_round_trip(self, name):
+        spec = registry.build(name, n_nodes=30, scale=0.1, seed=3)
+        d = spec.to_dict()
+        clone = ScenarioSpec.from_dict(d)
+        assert clone.to_dict() == d
+        # And through actual JSON text.
+        assert ScenarioSpec.from_json(spec.to_json()).to_dict() == d
+
+    def test_explicit_schedule_round_trips(self):
+        sched = SubmissionSchedule(
+            [ScheduledJob(0.0, JobSpec("j0", 2, 1, "/in/a"), 1),
+             ScheduledJob(5.0, JobSpec("j1", 4, 2, "/in/b"), 2)],
+            {"/in/a": 2, "/in/b": 4})
+        spec = ScenarioSpec(name="pinned",
+                            workload=WorkloadSpec(schedule=sched))
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert len(clone.workload.schedule) == 2
+        assert clone.workload.schedule.inputs == sched.inputs
+        assert clone.workload.schedule.jobs[1].spec.num_maps == 4
+
+    def test_trace_round_trips(self):
+        trace = PreemptionTrace([PreemptionEvent(10.0, "UCSDT2", 2, True)])
+        spec = ScenarioSpec(name="t", faults=FaultSpec(trace=trace))
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        ev = clone.faults.trace.events[0]
+        assert (ev.time, ev.site, ev.count, ev.zombie) == \
+            (10.0, "UCSDT2", 2, True)
+
+    def test_validation_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", scheduler="cosmic").validate()
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", cluster=ClusterSpec(n_nodes=10),
+                         grow_to=5).validate()
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x",
+                         workload=WorkloadSpec(scale=1.5)).validate()
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="").validate()
+
+
+class TestRunnerConfig:
+    """build_config resolves specs without running anything."""
+
+    def test_wan_caps_reach_the_fabric(self):
+        cfg = ScenarioRunner(registry.build("wan_staging")).build_config()
+        assert cfg.fabric.site_uplink_overrides["fnal.gov"] == 150e6
+
+    def test_site_tiers_reach_the_hog_config(self):
+        cfg = ScenarioRunner(registry.build("hetero_tiers")).build_config()
+        assert set(cfg.site_nodes) == set(
+            registry.build("hetero_tiers").cluster.site_tiers)
+
+    def test_scheduler_choice_overrides_mr_config(self):
+        spec = registry.build("baseline")
+        spec.scheduler = "delay"
+        cfg = ScenarioRunner(spec).build_config()
+        assert cfg.mr.scheduler == "delay"
+
+    def test_trace_without_policy_means_churn_free_sites(self):
+        spec = ScenarioSpec(
+            name="t", faults=FaultSpec(trace=PreemptionTrace(
+                [PreemptionEvent(10.0, PAPER_SITE_NAMES[0])])))
+        cfg = ScenarioRunner(spec).build_config()
+        for site in cfg.sites:
+            assert site.policy.preempt_rate == 0.0
+            assert site.policy.burst_rate == 0.0
+
+    def test_grow_to_sizes_the_grid(self):
+        spec = registry.build("rebalance_under_load", n_nodes=20)
+        cfg = ScenarioRunner(spec).build_config()
+        assert cfg.total_grid_capacity >= spec.grow_to
+
+    def test_uplink_caps_apply_to_wan_links(self):
+        """The override must reach the actual Link capacity."""
+        from repro.net.fabric import FabricConfig, NetworkFabric
+        from repro.net.topology import DnsSiteResolver, NetworkTopology
+        from repro.sim.engine import Simulator
+        fab = NetworkFabric(
+            Simulator(), NetworkTopology(DnsSiteResolver()),
+            FabricConfig(site_uplink_overrides={"slow.edu": 10e6}))
+        assert fab._wan("slow.edu", "tx").capacity == 10e6
+        assert fab._wan("fast.edu", "tx").capacity == 1250e6
+
+
+class TestRunnerEndToEnd:
+    def test_rebalance_under_load_runs_all_phases(self):
+        spec = registry.build("rebalance_under_load", seed=5, **SMOKE)
+        runner = ScenarioRunner(spec)
+        result = runner.run()
+        phase_names = [p.name for p in result.phases]
+        assert phase_names[:3] == ["ramp", "preload", "grow"]
+        assert "workload" in phase_names
+        assert result.failed_jobs == 0
+        assert result.jobs_completed > 0
+        # The concurrent balancer genuinely moved data off the preloaded
+        # nodes while jobs ran.
+        assert result.balancer is not None
+        assert result.balancer["moved_blocks"] > 0
+        # Growth happened: more workers started than the initial target.
+        assert result.preemptions["glideins_started"] >= spec.grow_to
+
+    def test_result_json_is_self_describing(self):
+        spec = registry.build("hetero_tiers", seed=2, **SMOKE)
+        result = ScenarioRunner(spec).run()
+        record = json.loads(result.to_json())
+        for key in ("scenario", "makespan_seconds", "sim_seconds",
+                    "events", "phases", "channel", "locality",
+                    "preemptions", "failed_jobs"):
+            assert key in record
+        assert record["scenario"] == "hetero_tiers"
+        assert record["channel"]["rebalances"] > 0
+        assert record["events"] > 0
+
+
+class TestDeterminismGuard:
+    """Same spec + same seed ⇒ identical event counts and payloads."""
+
+    @pytest.mark.parametrize("name", ["wan_staging", "churn_heavy"])
+    def test_same_seed_same_payload(self, name):
+        results = []
+        for _ in range(2):
+            runner = ScenarioRunner(registry.build(name, seed=42, **SMOKE))
+            result = runner.run()
+            results.append((result.events, result.payload()))
+        assert results[0][0] == results[1][0]
+        assert results[0][1] == results[1][1]
+
+
+class TestCli:
+    def test_list_prints_catalogue(self, capsys):
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_SCENARIOS:
+            assert name in out
+
+    def test_show_spec_emits_valid_json(self, capsys):
+        assert cli_main(["churn_heavy", "--show-spec"]) == 0
+        spec = ScenarioSpec.from_json(capsys.readouterr().out)
+        assert spec.name == "churn_heavy"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["not-a-scenario"])
+
+    def test_smoke_run_writes_result_json(self, tmp_path):
+        out = tmp_path / "result.json"
+        assert cli_main(["baseline", "--smoke", "--output", str(out)]) == 0
+        record = json.loads(out.read_text())
+        assert record["scenario"] == "baseline"
+        assert record["failed_jobs"] == 0
+        assert record["events"] > 0
+        assert [p["name"] for p in record["phases"]] == \
+            ["ramp", "preload", "workload"]
