@@ -22,9 +22,10 @@ rebalance_under_load / churn_heavy measured between releases.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_scale_sweep.py              # 100/250/500/1000
+    PYTHONPATH=src python benchmarks/bench_scale_sweep.py              # 100..1000 + 10k frontier
     PYTHONPATH=src python benchmarks/bench_scale_sweep.py --nodes 100 250
     PYTHONPATH=src python benchmarks/bench_scale_sweep.py --smoke      # CI-fast
+    PYTHONPATH=src python benchmarks/bench_scale_sweep.py --smoke-100k # 100k survival check
     REPRO_SCALE=0.1 PYTHONPATH=src python benchmarks/bench_scale_sweep.py
 
 Workload scale follows ``REPRO_SCALE`` (default 0.25, like the other
@@ -52,6 +53,23 @@ from repro.scenarios import ScenarioRunner, registry
 
 DEFAULT_NODE_COUNTS = (100, 250, 500, 1000)
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_scale.json"
+#: The 10k-node frontier point.  At this scale the single central package
+#: server becomes the physical limit: preempted workers re-download the
+#: 75 MB package through one NIC (~1.67 replacements/s), so under the
+#: baseline churn policy (~1/4000 per node-second) the sustainable
+#: running count tops out near 6.7k nodes regardless of how many pilots
+#: are submitted.  The frontier point therefore ramps to 50% — the honest
+#: achievable target — and then drives the workload.
+FRONTIER_NODES = 10_000
+FRONTIER_SCALE = 0.02
+FRONTIER_RAMP_FRACTION = 0.5
+#: ``--smoke-100k``: a control-plane survival check, not a perf anchor.
+#: Same physics as the frontier point, an order of magnitude more pilots:
+#: the ramp download alone spans ~60k simulated seconds, and the
+#: sustainable running count is still ~6.7k, hence the 5% ramp target.
+SMOKE_100K_NODES = 100_000
+SMOKE_100K_SCALE = 0.01
+SMOKE_100K_RAMP_FRACTION = 0.05
 #: Sizing of the every-scenario coverage section (kept small: it is a
 #: model-coverage anchor, not a scaling anchor).
 SCENARIO_SECTION_NODES = 40
@@ -71,7 +89,8 @@ def contended_node():
 
 
 def run_point(n_nodes: int, scale: float, seed: int,
-              scenario: str = "baseline") -> dict:
+              scenario: str = "baseline",
+              ramp_fraction: float = 0.98) -> dict:
     """One sweep point: run the registry scenario, return its perf record."""
     spec = registry.build(scenario, n_nodes=n_nodes, scale=scale,
                           seed=seed + n_nodes)
@@ -79,13 +98,16 @@ def run_point(n_nodes: int, scale: float, seed: int,
     # replacements re-download the worker package; waiting for a 100%
     # lull at 1000 nodes costs simulated *hours*.  98% matches the
     # paper's fluctuation-tolerant reading of "reaches this number".
-    spec.cluster.ramp_fraction = 0.98
+    # (Frontier points pass a lower fraction: beyond ~6.7k nodes the
+    # central package server caps the sustainable count itself.)
+    spec.cluster.ramp_fraction = ramp_fraction
     runner = ScenarioRunner(spec)
     result = runner.run()
     return {
         "nodes": n_nodes,
         "scenario": scenario,
         "scale": scale,
+        "ramp_fraction": ramp_fraction,
         "seed": spec.seed,
         "wall_seconds": round(result.wall_seconds, 3),
         "sim_seconds": round(result.sim_seconds, 1),
@@ -96,10 +118,15 @@ def run_point(n_nodes: int, scale: float, seed: int,
         "fabric_rebalances": result.channel["rebalances"],
         "uniform_groups": result.channel["uniform_groups"],
         "uniform_completions": result.channel["uniform_completions"],
+        "uniform_joins": result.channel["uniform_joins"],
         "cross_partition_passes": result.channel["cross_partition_passes"],
         "starvation_rescues": result.channel["starvation_rescues"],
         "workload_response_seconds": round(result.makespan_seconds, 1),
         "failed_jobs": result.failed_jobs,
+        # Control-plane counters: heartbeat rounds vs. raw heartbeats and
+        # the index-update totals (the work the delta-driven path does
+        # *instead of* rescanning every job per heartbeat).
+        "control": dict(result.control),
     }
 
 
@@ -139,9 +166,35 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sweep (one small point per scenario) for "
                              "the fast test tier")
+    parser.add_argument("--no-frontier", action="store_true",
+                        help="skip the 10k-node frontier point")
+    parser.add_argument("--smoke-100k", action="store_true",
+                        help="run ONLY the 100k-node control-plane survival "
+                             "check (writes BENCH_scale_100k.json unless "
+                             "--output is given)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="where to write the JSON report")
     args = parser.parse_args(argv)
+
+    if args.smoke_100k:
+        if args.output == DEFAULT_OUTPUT:
+            args.output = DEFAULT_OUTPUT.with_name("BENCH_scale_100k.json")
+        print(f"[scale-sweep] 100k smoke: {SMOKE_100K_NODES} nodes @ scale "
+              f"{SMOKE_100K_SCALE}, ramp to "
+              f"{SMOKE_100K_RAMP_FRACTION:.0%} ...", flush=True)
+        record = run_point(SMOKE_100K_NODES, SMOKE_100K_SCALE, args.seed,
+                           ramp_fraction=SMOKE_100K_RAMP_FRACTION)
+        _report(record)
+        report = {
+            "benchmark": "bench_scale_sweep --smoke-100k",
+            "description": "100k-pilot control-plane survival check "
+                           "(ramp capped by the central package server)",
+            "python": sys.version.split()[0],
+            "points": [record],
+        }
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[scale-sweep] wrote {args.output}")
+        return 0
 
     nodes = args.nodes
     scale = args.scale
@@ -176,6 +229,16 @@ def main(argv=None) -> int:
             contended_points.append(record)
             _report(record)
 
+    frontier_points = []
+    if not args.smoke and not args.no_frontier and "baseline" in args.scenarios:
+        print(f"[scale-sweep] frontier: {FRONTIER_NODES} nodes @ scale "
+              f"{FRONTIER_SCALE}, ramp to {FRONTIER_RAMP_FRACTION:.0%} ...",
+              flush=True)
+        record = run_point(FRONTIER_NODES, FRONTIER_SCALE, args.seed,
+                           ramp_fraction=FRONTIER_RAMP_FRACTION)
+        frontier_points.append(record)
+        _report(record)
+
     scenario_section = {}
     if not args.no_scenario_section:
         scenario_section = run_scenario_section(section_nodes, section_scale,
@@ -191,6 +254,7 @@ def main(argv=None) -> int:
         "python": sys.version.split()[0],
         "points": points,
         "contended_points": contended_points,
+        "frontier_points": frontier_points,
         "scenarios": scenario_section,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")

@@ -248,6 +248,22 @@ class HOGSystem:
         """Actual running worker count."""
         return self.factory.running_count()
 
+    def control_plane_stats(self) -> Dict[str, int]:
+        """Counters for the delta-driven control plane: how much work the
+        heartbeat/index/metadata paths actually did (the scale story is
+        these growing ~linearly with events, not with nodes × jobs)."""
+        jt = self.jobtracker
+        nn = self.namenode
+        index = getattr(jt.scheduler, "index", None)
+        return {
+            "heartbeats": jt.heartbeats,
+            "heartbeat_rounds": jt.heartbeat_rounds,
+            "sched_index_updates": index.updates if index is not None else 0,
+            "nn_block_reports": nn.counters.get("block_reports"),
+            "nn_block_report_blocks": nn.counters.get("block_report_blocks"),
+            "nn_replications_started": nn.counters.get("replications_started"),
+        }
+
     def preempt_host(self, host: str, zombie: bool = False) -> None:
         """Force a site preemption of the glidein running at ``host``.
 

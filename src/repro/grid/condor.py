@@ -132,6 +132,11 @@ class CondorSchedd:
 
     def __init__(self) -> None:
         self._queue: List = []  # Glidein objects
+        #: Submission-ordered view of the idle jobs (keyed by object
+        #: identity; only insertion order matters),
+        #: maintained event-driven via :meth:`job_left_idle` so each
+        #: negotiation cycle costs O(idle), not O(every job ever queued).
+        self._idle: Dict[int, object] = {}
         self._cluster_seq = 0
 
     def submit(self, submission: SubmissionFile, glideins: List) -> int:
@@ -141,11 +146,19 @@ class CondorSchedd:
         for g in glideins:
             g.cluster_id = self._cluster_seq
             self._queue.append(g)
+            if g.state == CondorJobState.IDLE:
+                self._idle[id(g)] = g
         return self._cluster_seq
 
+    def job_left_idle(self, glidein) -> None:
+        """A queued job stopped being idle (matched or removed); states
+        never return to idle, so dropping it here keeps ``idle_jobs``
+        exact.  Safe to call for jobs that were never queued."""
+        self._idle.pop(id(glidein), None)
+
     def idle_jobs(self) -> List:
-        """Jobs waiting to be matched."""
-        return [g for g in self._queue if g.state == CondorJobState.IDLE]
+        """Jobs waiting to be matched (submission order)."""
+        return list(self._idle.values())
 
     def running_jobs(self) -> List:
         """Jobs currently executing on some site."""

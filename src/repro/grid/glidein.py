@@ -84,6 +84,7 @@ class Glidein:
         #: Site names this pilot may run at (submit-file requirements).
         self.requirements = requirements
         self.cluster_id: Optional[int] = None
+        self._state = None
         self.state = Glidein.IDLE
         self.site: Optional[GridSite] = None
         self.hostname: Optional[str] = None
@@ -91,6 +92,19 @@ class Glidein:
         self.node = None
         self._startup_proc = None
         self._lifetime_proc = None
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @state.setter
+    def state(self, new: str) -> None:
+        # Single funnel for every lifecycle transition: the factory keeps
+        # O(1) running/pending tallies instead of rescanning the pilot
+        # list on each count query.
+        old = self._state
+        self._state = new
+        self.factory._state_changed(self, old, new)
 
     # -- lifecycle -----------------------------------------------------------------
     def match(self, site: GridSite) -> None:
@@ -238,7 +252,13 @@ class GlideinFactory:
         self.wrapper.validate()
         self.negotiation_interval = negotiation_interval
         self._target = 0
-        self._glideins: List[Glidein] = []
+        #: Live + recently-departed pilots, submission-ordered (keyed by
+        #: glidein id so departures are O(1), not a list scan).
+        self._glideins: Dict[int, Glidein] = {}
+        #: Event-maintained state tallies (updated by ``Glidein.state``'s
+        #: setter) so count queries never scan the pilot list.
+        self._n_running = 0
+        self._n_pending = 0
         self.counters = CounterSet()
         #: Called with the current running-node count whenever it changes.
         self.node_count_listeners: List[Callable[[int], None]] = []
@@ -271,23 +291,39 @@ class GlideinFactory:
         return self._target
 
     # -- state -------------------------------------------------------------------
+    def _state_changed(self, glidein: "Glidein",
+                       old: Optional[str], new: str) -> None:
+        """Keep the running/pending tallies in step with one pilot's
+        lifecycle transition (called from ``Glidein.state``'s setter)."""
+        pending = (Glidein.IDLE, Glidein.STARTING)
+        if old == Glidein.RUNNING:
+            self._n_running -= 1
+        elif old in pending:
+            self._n_pending -= 1
+        if new == Glidein.RUNNING:
+            self._n_running += 1
+        elif new in pending:
+            self._n_pending += 1
+        if old == Glidein.IDLE:
+            # Keep the schedd's event-maintained idle view exact.
+            self.schedd.job_left_idle(glidein)
+
     def running_count(self) -> int:
-        """Glideins whose Hadoop daemons are up."""
-        return sum(1 for g in self._glideins if g.state == Glidein.RUNNING)
+        """Glideins whose Hadoop daemons are up (O(1))."""
+        return self._n_running
 
     def pending_count(self) -> int:
-        """Glideins submitted or starting but not yet running."""
-        return sum(1 for g in self._glideins
-                   if g.state in (Glidein.IDLE, Glidein.STARTING))
+        """Glideins submitted or starting but not yet running (O(1))."""
+        return self._n_pending
 
     def glideins(self) -> List[Glidein]:
         """All live pilots (idle/starting/running)."""
-        return [g for g in self._glideins
+        return [g for g in self._glideins.values()
                 if g.state in (Glidein.IDLE, Glidein.STARTING, Glidein.RUNNING)]
 
     def find_by_hostname(self, hostname: str) -> Optional[Glidein]:
         """The running pilot whose worker node is ``hostname``, if any."""
-        for g in self._glideins:
+        for g in self._glideins.values():
             if g.hostname == hostname and g.state == Glidein.RUNNING:
                 return g
         return None
@@ -322,8 +358,9 @@ class GlideinFactory:
 
     def _reconcile(self) -> None:
         """Submit or remove pilots to track the target."""
-        alive = self.glideins()
-        deficit = self._target - len(alive)
+        # O(1) via the state tallies; the (rare) shrink path below is the
+        # only one that needs the actual pilot list.
+        deficit = self._target - (self._n_pending + self._n_running)
         if deficit > 0:
             submission = SubmissionFile(
                 requirements=tuple(s.name for s in self.sites),
@@ -331,12 +368,14 @@ class GlideinFactory:
             new = [Glidein(self, submission.requirements)
                    for _ in range(deficit)]
             self.schedd.submit(submission, new)
-            self._glideins.extend(new)
+            for g in new:
+                self._glideins[g.glidein_id] = g
             self.counters.incr("glideins_submitted", deficit)
         elif deficit < 0:
             # Shrink: remove idle pilots first, then running ones.
             excess = -deficit
-            victims = sorted(alive, key=lambda g: g.state != Glidein.IDLE)
+            victims = sorted(self.glideins(),
+                             key=lambda g: g.state != Glidein.IDLE)
             for g in victims[:excess]:
                 self.schedd.remove(g)
             self.counters.incr("glideins_removed", excess)
@@ -377,9 +416,9 @@ class GlideinFactory:
 
     def _glidein_gone(self, glidein: Glidein) -> None:
         """A pilot left the system; the next cycle will resubmit."""
-        if glidein in self._glideins and glidein.state in (
-                Glidein.PREEMPTED, Glidein.FAILED, Glidein.REMOVED):
-            self._glideins.remove(glidein)
+        if glidein.state in (Glidein.PREEMPTED, Glidein.FAILED,
+                             Glidein.REMOVED):
+            self._glideins.pop(glidein.glidein_id, None)
 
     def _node_count_changed(self) -> None:
         count = self.running_count()

@@ -135,7 +135,7 @@ class Balancer:
             events = []
             for src, tgt, bid in moves:
                 info = self.namenode.block_info(bid)
-                info.pending_targets.add(tgt)
+                info.pending_targets[tgt] = None
                 # Designate the source replica for invalidation: when the
                 # new copy is reported, the namenode sees an excess replica
                 # and drops exactly this one.
@@ -154,7 +154,7 @@ class Balancer:
                 try:
                     yield ev
                 except Exception:
-                    info.pending_targets.discard(tgt)
+                    info.pending_targets.pop(tgt, None)
                     info.balancer_drop = None
                     continue
                 report.moved_blocks += 1

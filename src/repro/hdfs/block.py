@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Set
+from dataclasses import dataclass
+from typing import Dict, List
 
 __all__ = ["Block", "BlockInfo", "FileInfo"]
 
@@ -33,11 +33,13 @@ class BlockInfo:
 
     def __init__(self, block: Block) -> None:
         self.block = block
-        #: Hosts confirmed to hold a finalized replica.
-        self.replicas: Set[str] = set()
+        #: Hosts confirmed to hold a finalized replica.  Insertion-ordered
+        #: dict-as-set: ``locate()`` and replication-source choices iterate
+        #: it, and their order must not depend on string hashing.
+        self.replicas: Dict[str, None] = {}
         #: Hosts a re-replication is currently in flight to (avoid
         #: scheduling duplicate work for the same block/target).
-        self.pending_targets: Set[str] = set()
+        self.pending_targets: Dict[str, None] = {}
         #: When the balancer migrates this block, the source replica it
         #: wants dropped once the new copy lands (makes the namenode's
         #: over-replication invalidation deterministic).

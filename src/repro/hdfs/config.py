@@ -29,7 +29,13 @@ class HdfsConfig:
     #: Default replication factor for new files.
     replication: int = 3
     #: Datanode heartbeat period, seconds (Hadoop ``dfs.heartbeat.interval``).
+    #: This is the floor; see ``heartbeats_per_second``.
     heartbeat_interval: float = 3.0
+    #: Target cluster-wide heartbeat arrival rate at the namenode.  The
+    #: effective per-datanode period is ``max(heartbeat_interval,
+    #: live_datanodes / rate)`` — identical to the floor for clusters up
+    #: to ``rate * heartbeat_interval`` nodes.  ``0`` disables scaling.
+    heartbeats_per_second: float = 100.0
     #: Seconds without a heartbeat before the namenode declares a datanode
     #: dead.  Stock Hadoop's effective value is ~15 minutes
     #: (``heartbeat.recheck.interval``); HOG lowers it to 30 s.
@@ -58,6 +64,8 @@ class HdfsConfig:
             raise ValueError("heartbeat settings must be positive")
         if self.heartbeat_timeout <= self.heartbeat_interval:
             raise ValueError("heartbeat_timeout must exceed heartbeat_interval")
+        if self.heartbeats_per_second < 0:
+            raise ValueError("heartbeats_per_second cannot be negative")
         if not (0.0 <= self.disk_reserve_fraction < 1.0):
             raise ValueError("disk_reserve_fraction must be in [0, 1)")
         if self.disk_check_interval is not None and self.disk_check_interval <= 0:

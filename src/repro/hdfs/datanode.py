@@ -120,7 +120,8 @@ class Datanode:
         try:
             while self.is_alive:
                 self.namenode.heartbeat(self)
-                yield self.sim.timeout(self.config.heartbeat_interval)
+                # Ask per beat: the period adapts to cluster size.
+                yield self.sim.timeout(self.namenode.heartbeat_interval())
         except Interrupt:
             return
 
@@ -141,6 +142,11 @@ class Datanode:
     def block_ids(self):
         """IDs of locally stored replicas."""
         return set(self._blocks)
+
+    def block_report(self):
+        """The (re-)registration block report: stored replica ids in
+        deterministic insertion order, without copying into a set."""
+        return self._blocks.keys()
 
     def has_block(self, block_id: int) -> bool:
         """True if a finalized replica is stored here."""

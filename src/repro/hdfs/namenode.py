@@ -70,11 +70,20 @@ class Namenode:
         self._blocks: Dict[int, BlockInfo] = {}
         self._block_file: Dict[int, str] = {}
         self._nodes: Dict[str, DatanodeDescriptor] = {}
-        self._host_blocks: Dict[str, Set[int]] = {}
+        self._host_blocks: Dict[str, Dict[int, None]] = {}
         #: Under-replicated block ids — maintained *incrementally* on every
         #: replica add/remove (heartbeat re-registration, death, commit),
         #: so the replication monitor never scans the block map.
-        self._needed: Set[int] = set()
+        self._needed: Dict[int, None] = {}
+        #: Delta-driven replication work queue: a lazy (live-replica-count,
+        #: block id) min-heap fed by the same replica add/remove events
+        #: that maintain ``_needed``.  The monitor pops most-endangered
+        #: blocks instead of re-sorting the whole needed set every tick;
+        #: blocks waiting only on in-flight copies leave the queue and are
+        #: re-queued by ``block_received`` / replication-failure events.
+        self._repl_heap: List[Tuple[int, int]] = []
+        #: block id → priority of its one *live* heap entry (stale filter).
+        self._repl_prio: Dict[int, int] = {}
         #: Believed-alive hosts (insertion-ordered dict as a set): an O(live)
         #: answer for placement instead of an O(all datanodes) scan per
         #: scheduled block.
@@ -103,12 +112,30 @@ class Namenode:
         self.sim.process(self._heartbeat_monitor(), name="nn-hb-monitor")
         self.sim.process(self._replication_monitor(), name="nn-repl-monitor")
 
+    def heartbeat_interval(self) -> float:
+        """Per-datanode heartbeat period: the configured floor, lengthened
+        as the cluster grows so the namenode's cluster-wide heartbeat
+        rate stays near ``config.heartbeats_per_second``."""
+        rate = self.config.heartbeats_per_second
+        base = self.config.heartbeat_interval
+        if rate <= 0:
+            return base
+        return max(base, len(self._live_hosts) / rate)
+
+    def heartbeat_timeout(self) -> float:
+        """Effective liveness timeout: the configured value, stretched to
+        several adaptive periods so scaled-up clusters do not flap
+        datanodes whose period exceeds the configured timeout."""
+        return max(self.config.heartbeat_timeout,
+                   4.0 * self.heartbeat_interval())
+
     def _heartbeat_monitor(self):
         try:
             while True:
                 yield self.sim.timeout(self.config.heartbeat_recheck_period)
                 now = self.sim.now
-                timeout = self.config.heartbeat_timeout
+                # Re-derive per tick: tracks the adaptive period.
+                timeout = self.heartbeat_timeout()
                 heap = self._hb_heap
                 while heap and heap[0][0] <= now:
                     _, host = heapq.heappop(heap)
@@ -141,16 +168,14 @@ class Namenode:
         host = datanode.host
         self.topology.add_host(host)
         self._nodes[host] = DatanodeDescriptor(datanode, self.sim.now)
-        self._host_blocks.setdefault(host, set())
+        self._host_blocks.setdefault(host, {})
         self._live_hosts[host] = None
         self._live_index.add(host)
         heapq.heappush(self._hb_heap,
-                       (self.sim.now + self.config.heartbeat_timeout, host))
+                       (self.sim.now + self.heartbeat_timeout(), host))
         self.counters.incr("datanodes_registered")
         # A restarted node may still hold replicas from a previous life.
-        for bid in datanode.block_ids:
-            if bid in self._blocks:
-                self.block_received(bid, host)
+        self.process_block_report(host, datanode.block_report())
 
     def heartbeat(self, datanode: Datanode) -> None:
         """Periodic datanode report.  A heartbeat from a node previously
@@ -165,12 +190,10 @@ class Namenode:
             self._live_hosts[datanode.host] = None
             self._live_index.add(datanode.host)
             heapq.heappush(self._hb_heap,
-                           (self.sim.now + self.config.heartbeat_timeout,
+                           (self.sim.now + self.heartbeat_timeout(),
                             datanode.host))
             self.counters.incr("datanodes_reregistered")
-            for bid in datanode.block_ids:
-                if bid in self._blocks:
-                    self.block_received(bid, datanode.host)
+            self.process_block_report(datanode.host, datanode.block_report())
 
     def _declare_dead(self, desc: DatanodeDescriptor) -> None:
         """Heartbeat timeout fired: drop the node's replicas and queue
@@ -187,17 +210,38 @@ class Namenode:
             listener(host)
 
     # -- block map maintenance --------------------------------------------------------
+    def process_block_report(self, host: str, block_ids) -> None:
+        """Aggregate (re-)registration block report from ``host``.
+
+        One set-difference against the believed replica map: only replicas
+        the namenode does not already credit to the host go through the
+        full per-replica path — for the common re-registration (believed
+        state intact) the whole report is a dictionary-lookup sweep with
+        no bookkeeping writes."""
+        self.counters.incr("block_reports")
+        believed = self._host_blocks.setdefault(host, {})
+        blocks = self._blocks
+        new = [bid for bid in block_ids
+               if bid not in believed and bid in blocks]
+        self.counters.incr("block_report_blocks", len(new))
+        for bid in new:
+            self.block_received(bid, host)
+
     def block_received(self, block_id: int, host: str) -> None:
         """A datanode finalized a replica of ``block_id``."""
         info = self._blocks.get(block_id)
         if info is None:
             return  # file deleted while the replica was in flight
-        info.replicas.add(host)
-        info.pending_targets.discard(host)
-        self._host_blocks.setdefault(host, set()).add(block_id)
+        info.replicas[host] = None
+        info.pending_targets.pop(host, None)
+        self._host_blocks.setdefault(host, {})[block_id] = None
         target = self._replication_target(block_id)
         if info.live_replica_count >= target:
-            self._needed.discard(block_id)
+            self._needed.pop(block_id, None)
+        elif block_id in self._needed:
+            # Still short, but the danger level changed: re-aim the work
+            # queue (the old heap entry goes stale).
+            self._queue_replication(block_id, info)
         if info.live_replica_count > target:
             self._invalidate_excess(info, target)
 
@@ -205,12 +249,24 @@ class Namenode:
         info = self._blocks.get(block_id)
         if info is None:
             return
-        info.replicas.discard(host)
-        self._host_blocks.get(host, set()).discard(block_id)
+        info.replicas.pop(host, None)
+        self._host_blocks.get(host, {}).pop(block_id, None)
         if info.live_replica_count < self._replication_target(block_id):
-            self._needed.add(block_id)
+            self._needed[block_id] = None
+            self._queue_replication(block_id, info)
         if info.live_replica_count == 0:
             self.counters.incr("blocks_all_replicas_lost")
+
+    def _queue_replication(self, block_id: int,
+                           info: Optional[BlockInfo] = None) -> None:
+        """(Re-)arm the replication work queue for one needed block."""
+        if info is None:
+            info = self._blocks.get(block_id)
+            if info is None:
+                return
+        prio = info.live_replica_count
+        self._repl_prio[block_id] = prio
+        heapq.heappush(self._repl_heap, (prio, block_id))
 
     def report_bad_replica(self, block_id: int, host: str) -> None:
         """A client failed to read ``block_id`` from ``host``: drop that
@@ -236,8 +292,8 @@ class Namenode:
             desc = self._nodes.get(victim)
             if desc is not None and desc.datanode.state == Datanode.RUNNING:
                 desc.datanode.remove_block(info.block.block_id)
-            info.replicas.discard(victim)
-            self._host_blocks.get(victim, set()).discard(info.block.block_id)
+            info.replicas.pop(victim, None)
+            self._host_blocks.get(victim, {}).pop(info.block.block_id, None)
             self.counters.incr("replicas_invalidated")
 
     # -- replication ----------------------------------------------------------------
@@ -248,47 +304,60 @@ class Namenode:
         return self._files[fname].replication
 
     def _schedule_replication_work(self, work_limit: int = 64) -> None:
-        """One scan of the under-replicated *index*, most endangered first.
+        """Drain the delta-driven work queue, most endangered first.
 
-        Cost is O(|needed| log |needed|) — the block map is never scanned,
-        and the believed-live host list is materialised once per pass, not
-        once per block."""
-        if not self._needed:
+        Cost is O(popped · log |queue|): the needed set is never re-sorted.
+        A block leaves the queue once its missing count is covered by
+        in-flight copies — the replica events that change that coverage
+        (``block_received``, replication failure, another death) re-queue
+        it, so an idle tick with a deep-but-covered backlog does nothing."""
+        heap = self._repl_heap
+        if not heap:
             return
-        order = sorted(self._needed,
-                       key=lambda bid: self._blocks[bid].live_replica_count)
         live = self._live_hosts  # iterated, never copied
         scheduled = 0
-        for bid in order:
-            if scheduled >= work_limit:
-                break
+        blocked: List[int] = []
+        while heap and scheduled < work_limit:
+            prio, bid = heapq.heappop(heap)
+            if self._repl_prio.get(bid) != prio:
+                continue  # stale entry (block re-queued or resolved)
+            del self._repl_prio[bid]
+            if bid not in self._needed:
+                continue
             info = self._blocks.get(bid)
             if info is None:
-                self._needed.discard(bid)
+                self._needed.pop(bid, None)
                 continue
             target = self._replication_target(bid)
             missing = target - info.live_replica_count - len(info.pending_targets)
             if missing <= 0:
-                continue
+                continue  # covered by in-flight copies; events re-queue
             sources = [h for h in info.replicas if self._is_usable_source(h)]
             if not sources:
-                continue  # nothing to copy from (yet) — maybe a node returns
+                blocked.append(bid)  # no live source (yet) — retry next tick
+                continue
             size = info.block.size
             targets = self.placement.choose_targets(
-                None, missing, info.replicas | info.pending_targets, live,
-                lambda h: self._can_host_store(h, size),
+                None, missing, {**info.replicas, **info.pending_targets},
+                live, lambda h: self._can_host_store(h, size),
                 site_index=self._live_index)
+            launched = 0
             for tgt in targets:
-                # Tie-break by hostname: replica sets iterate in hash
-                # order, and the choice must not depend on that.
+                # Tie-break by hostname so the choice never depends on
+                # replica-map iteration order.
                 src = min(sources, key=lambda h: (
                     self._nodes[h].datanode.active_repl_streams, h))
                 if self._nodes[src].datanode.active_repl_streams >= self.config.max_replication_streams:
                     break
-                info.pending_targets.add(tgt)
+                info.pending_targets[tgt] = None
                 self.sim.process(self._replicate(info, src, tgt),
                                  name=f"nn-repl:{bid}->{tgt}")
                 scheduled += 1
+                launched += 1
+            if launched < missing:
+                blocked.append(bid)  # short on targets/streams — retry
+        for bid in blocked:
+            self._queue_replication(bid)
 
     def _replicate(self, info: BlockInfo, source: str, target: str):
         """Copy one replica source→target; bookkeeping on either outcome."""
@@ -304,11 +373,12 @@ class Namenode:
                                        source_disk=src_dn.disk)
             self.counters.incr("replications_completed")
         except Exception:
-            info.pending_targets.discard(target)
+            info.pending_targets.pop(target, None)
             self.counters.incr("replications_failed")
             if info.block.block_id in self._blocks and \
                info.live_replica_count < self._replication_target(info.block.block_id):
-                self._needed.add(info.block.block_id)
+                self._needed[info.block.block_id] = None
+                self._queue_replication(info.block.block_id, info)
         finally:
             src_dn.active_repl_streams -= 1
 
@@ -420,14 +490,15 @@ class Namenode:
         for block in fi.blocks:
             info = self._blocks.pop(block.block_id, None)
             self._block_file.pop(block.block_id, None)
-            self._needed.discard(block.block_id)
+            self._needed.pop(block.block_id, None)
+            self._repl_prio.pop(block.block_id, None)
             if info is None:
                 continue
             for host in list(info.replicas):
                 desc = self._nodes.get(host)
                 if desc is not None and desc.datanode.state == Datanode.RUNNING:
                     desc.datanode.remove_block(block.block_id)
-                self._host_blocks.get(host, set()).discard(block.block_id)
+                self._host_blocks.get(host, {}).pop(block.block_id, None)
 
     def __repr__(self) -> str:
         return (f"<Namenode files={len(self._files)} blocks={len(self._blocks)} "

@@ -187,7 +187,8 @@ class SiteAwarePolicy(PlacementPolicy):
             return []
 
         site_load: Dict[str, int] = {s: 0 for s in by_site}
-        for h in taken:
+        # Pure commutative count — the result is order-independent.
+        for h in taken:  # set-order-ok
             s = self.topology.site_of(h)
             if s in site_load:
                 site_load[s] += 1
@@ -252,7 +253,8 @@ class SiteAwarePolicy(PlacementPolicy):
         windows: Dict[str, int] = {s: index.site_size(s)
                                    for s in index.sites()}
         site_load: Dict[str, int] = {s: 0 for s in windows}
-        for h in taken:
+        # Pure commutative count — the result is order-independent.
+        for h in taken:  # set-order-ok
             s = self.topology.site_of(h)
             if s in site_load:
                 site_load[s] += 1

@@ -18,8 +18,16 @@ __all__ = ["MRConfig", "stock_mr_config", "hog_mr_config"]
 class MRConfig:
     """Tunable parameters of the simulated MapReduce 1.0 framework."""
 
-    #: Tasktracker heartbeat period, seconds.
+    #: Tasktracker heartbeat period, seconds (the floor — see
+    #: ``heartbeats_per_second``).
     heartbeat_interval: float = 3.0
+    #: Target cluster-wide heartbeat arrival rate at the jobtracker.
+    #: Stock Hadoop 1.x lengthens the per-tracker period as the cluster
+    #: grows so the jobtracker sees a bounded RPC rate (~100/s); the
+    #: effective period is ``max(heartbeat_interval, live / rate)``,
+    #: identical to the floor for clusters up to ``rate *
+    #: heartbeat_interval`` nodes.  ``0`` disables the scaling.
+    heartbeats_per_second: float = 100.0
     #: Seconds without a heartbeat before the jobtracker declares a
     #: tasktracker lost (stock ~10 min; HOG 30 s, §III-B).
     tracker_expiry: float = 600.0
@@ -60,6 +68,10 @@ class MRConfig:
     #: Task scheduler: ``fifo`` (HOG's choice, §III-B2), ``delay``
     #: (Zaharia et al. [3]), or ``matchmaking`` (He et al. [20]).
     scheduler: str = "fifo"
+    #: Debug: assign via the original per-heartbeat all-jobs scan instead
+    #: of the cluster pending index.  Exists so the equivalence suite can
+    #: prove the two paths emit identical assignment streams; never faster.
+    debug_scan_assign: bool = False
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent settings."""
@@ -67,6 +79,8 @@ class MRConfig:
             raise ValueError("heartbeat_interval must be positive")
         if self.tracker_expiry <= self.heartbeat_interval:
             raise ValueError("tracker_expiry must exceed heartbeat_interval")
+        if self.heartbeats_per_second < 0:
+            raise ValueError("heartbeats_per_second cannot be negative")
         if self.max_task_copies < 1:
             raise ValueError("max_task_copies must be >= 1")
         if self.max_attempts < 1:

@@ -10,13 +10,18 @@ We implement the standard two-level variant: a job waits up to
 ``node_local_delay`` seconds for a node-local slot before accepting a
 site-local one, and up to ``site_local_delay`` further seconds before
 accepting an arbitrary (cross-site) slot.
+
+Only the per-job decision body differs from FIFO, so the index-driven
+candidate walk (and the ``debug_scan_assign`` fallback) come straight
+from :class:`~repro.mapreduce.scheduler.FifoScheduler`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
-from .job import Job, Task, TaskStatus, TaskType
+from .job import Job, Task, TaskType
+
 from .scheduler import FifoScheduler
 
 __all__ = ["DelayScheduler"]
@@ -35,6 +40,9 @@ class DelayScheduler(FifoScheduler):
         #: job_id → time the job last launched a task (or started waiting).
         self._wait_start: Dict[int, float] = {}
 
+    def _job_removed(self, job: Job) -> None:
+        self._wait_start.pop(job.job_id, None)
+
     def _allowed_locality(self, job: Job) -> str:
         """How far from its data this job may currently launch."""
         now = self.jobtracker.sim.now
@@ -51,25 +59,24 @@ class DelayScheduler(FifoScheduler):
         # algorithm's skip-count reset.
         self._wait_start[job.job_id] = self.jobtracker.sim.now
 
-    def _pick_map(self, tracker, jobs, already) -> Optional[Tuple[Task, bool, str]]:
-        chosen_tasks = {t for t, _, _ in already}
-        for job in jobs:
-            if tracker.host in job.blacklist:
-                continue
-            if job.pending_map_tasks:
-                task, locality = self._most_local(job, tracker, chosen_tasks)
-                if task is None:
-                    continue
-                allowed = self._allowed_locality(job)
-                if locality == "data_local" or allowed == "remote" or \
-                        (locality == "site_local" and allowed == "site_local"):
-                    self._note_launch(job, locality)
-                    return task, False, locality
-                # Not local enough yet: skip this job, try the next one.
-                continue
-            if self.config.speculative_execution:
-                cand = self._speculation_candidate(job, TaskType.MAP, tracker,
-                                                   chosen_tasks)
-                if cand is not None:
-                    return cand, True, self._locality_of(job, cand, tracker)
+    def _try_map(self, job: Job, tracker, chosen_tasks):
+        if tracker.host in job.blacklist:
+            return None
+        if job.pending_map_tasks:
+            task, locality = self._most_local(job, tracker, chosen_tasks)
+            if task is None:
+                return None
+            allowed = self._allowed_locality(job)
+            if locality == "data_local" or allowed == "remote" or \
+                    (locality == "site_local" and allowed == "site_local"):
+                self._note_launch(job, locality)
+                return task, False, locality
+            # Not local enough yet: skip this job (the caller moves on).
+            return None
+        cand: Optional[Task] = None
+        if self.config.speculative_execution:
+            cand = self._probe_speculation(job, TaskType.MAP, tracker,
+                                           chosen_tasks)
+        if cand is not None:
+            return cand, True, self._locality_of(job, cand, tracker)
         return None

@@ -173,7 +173,7 @@ class Job:
         "job_id", "spec", "submit_time", "start_time", "finish_time",
         "status", "maps", "reduces", "map_outputs", "blacklist",
         "locality_counters", "_map_completed_listeners",
-        "_requeue_listeners",
+        "_requeue_listeners", "_transition_listeners",
         "pending_map_tasks", "pending_reduce_tasks",
         "running_map_tasks", "running_reduce_tasks",
         "_n_completed_maps", "_n_completed_reduces",
@@ -201,6 +201,11 @@ class Job:
         #: Fired with the task whenever one returns to PENDING (failure
         #: recovery, lost map output): index maintainers re-admit it.
         self._requeue_listeners: List = []
+        #: Fired with ``(task, old, new)`` on *every* status transition,
+        #: after the per-status sets/counters above are current.  The
+        #: cluster-wide scheduler index hangs off this: indexes update on
+        #: task-state events, never by rescanning.
+        self._transition_listeners: List = []
         # O(1) progress bookkeeping (kept exact by Task.set_status).
         # Insertion-ordered dicts used as sets: scheduler scans iterate
         # these, and hash-order iteration over *objects* would make runs
@@ -250,6 +255,8 @@ class Job:
                 self._n_completed_maps += 1
             else:
                 self._n_completed_reduces += 1
+        for cb in self._transition_listeners:
+            cb(task, old, new)
 
     def note_task_duration(self, task_type: str, duration: float) -> None:
         """Record a winning attempt's duration (speculation baseline)."""
@@ -307,6 +314,12 @@ class Job:
         """Register a callback fired with any task that returns to PENDING
         (used by scheduler locality indexes to re-admit pruned tasks)."""
         self._requeue_listeners.append(callback)
+
+    def subscribe_task_transition(self, callback) -> None:
+        """Register a callback fired with ``(task, old, new)`` on every
+        task status transition, after the job's own pending/running sets
+        have been updated (so listeners see consistent state)."""
+        self._transition_listeners.append(callback)
 
     # -- map-output pub/sub (drives the shuffle) -------------------------------------
     def subscribe_map_completed(self, callback) -> None:

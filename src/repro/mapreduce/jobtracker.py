@@ -19,7 +19,8 @@ Grid failure handling implemented here:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..hdfs.block import Block
 from ..hdfs.namenode import Namenode
@@ -77,10 +78,34 @@ class JobTracker:
         self.config.validate()
         if scheduler_factory is None:
             scheduler_factory = self._resolve_scheduler(self.config.scheduler)
-        self.scheduler = scheduler_factory(self)
+        #: Bumped whenever the schedulable-job list changes (submit or
+        #: finish).  The scheduler's cluster index reconciles only when
+        #: this moves, making its per-heartbeat sync O(1).
+        self.jobs_version = 0
+        #: Monotonic submit counter.  Unlike ``len(active_jobs())`` it
+        #: never moves on job *completion* — matchmaking's marker reset
+        #: keys off it (a finish must not clear markers; a submit plus a
+        #: finish at one instant must).
+        self.jobs_submitted_seq = 0
+        #: Heartbeats processed / distinct heartbeat rounds started.  A
+        #: *round* is one (sim instant, jobs_version) pair: every tracker
+        #: heartbeating at that instant shares the round's snapshots.
+        self.heartbeats = 0
+        self.heartbeat_rounds = 0
+        self._round_key: Optional[tuple] = None
         self._trackers: Dict[str, TrackerDescriptor] = {}
+        #: Lazy (deadline, host) min-heap for tracker expiry: entries are
+        #: pushed on (re-)registration, never per heartbeat, and deadlines
+        #: are recomputed from ``last_heartbeat`` on pop — the monitor's
+        #: tick is O(expired) instead of O(trackers).
+        self._expiry_heap: List[Tuple[float, str]] = []
+        #: Set when a live tracker is replaced in place (its running
+        #: attempts are orphaned with no failure report); gates the
+        #: monitor's requeue safety-net scan so steady-state ticks skip it.
+        self._needs_orphan_scan = False
         self._jobs: List[Job] = []
         self._next_job_id = 0
+        self.scheduler = scheduler_factory(self)
         self._input_blocks: Dict[int, List[Block]] = {}
         #: Fetch-failure strikes per (job_id, map_index).
         self._fetch_failures: Dict[tuple, int] = {}
@@ -118,23 +143,57 @@ class JobTracker:
         self._monitor_started = True
         self.sim.process(self._expiry_monitor(), name="jt-expiry-monitor")
 
+    def heartbeat_interval(self) -> float:
+        """Per-tracker heartbeat period: the configured floor, lengthened
+        as the cluster grows so the jobtracker's cluster-wide heartbeat
+        rate stays near ``config.heartbeats_per_second`` (stock Hadoop
+        1.x behaviour).  Small clusters always get the floor."""
+        rate = self.config.heartbeats_per_second
+        base = self.config.heartbeat_interval
+        if rate <= 0:
+            return base
+        return max(base, self._live_trackers / rate)
+
+    def tracker_expiry(self) -> float:
+        """Effective no-heartbeat expiry: the configured value, stretched
+        to several adaptive periods so scaled-up clusters do not flap
+        trackers whose period exceeds the configured expiry."""
+        return max(self.config.tracker_expiry, 4.0 * self.heartbeat_interval())
+
     def _expiry_monitor(self):
+        heap = self._expiry_heap
         try:
             while True:
                 yield self.sim.timeout(self.config.expiry_check_period)
-                cutoff = self.sim.now - self.config.tracker_expiry
-                for desc in list(self._trackers.values()):
-                    if desc.alive and desc.last_heartbeat < cutoff:
+                now = self.sim.now
+                # Re-derive per tick: the effective expiry tracks the
+                # adaptive heartbeat period as the cluster grows/shrinks.
+                expiry = self.tracker_expiry()
+                cutoff = now - expiry
+                # Lazy heap: an entry's deadline is a *lower bound* on the
+                # tracker's true deadline (heartbeats only push it later),
+                # so anything with heap deadline >= now is provably alive
+                # and the tick costs O(actually-expired).
+                while heap and heap[0][0] < now:
+                    _, host = heappop(heap)
+                    desc = self._trackers.get(host)
+                    if desc is None or not desc.alive:
+                        continue  # lost/replaced; revival pushes anew
+                    if desc.last_heartbeat < cutoff:
                         self._lost_tracker(desc)
+                    else:
+                        heappush(heap, (desc.last_heartbeat + expiry, host))
                 # Safety net: a task whose every attempt died without a
-                # failure report (e.g. its tracker was replaced in place
-                # before expiry) must return to the pending queue.  Only
-                # RUNNING tasks can be in that state.
-                for job in self.active_jobs():
-                    for task in list(job.running_map_tasks):
-                        self._requeue_if_needed(task)
-                    for task in list(job.running_reduce_tasks):
-                        self._requeue_if_needed(task)
+                # failure report (a live tracker replaced in place) must
+                # return to the pending queue.  Only that replacement path
+                # orphans attempts silently, so the scan is gated on it.
+                if self._needs_orphan_scan:
+                    self._needs_orphan_scan = False
+                    for job in self.active_jobs():
+                        for task in list(job.running_map_tasks):
+                            self._requeue_if_needed(task)
+                        for task in list(job.running_reduce_tasks):
+                            self._requeue_if_needed(task)
         except Interrupt:
             return
 
@@ -151,7 +210,14 @@ class JobTracker:
         self._trackers[tracker.host] = TrackerDescriptor(tracker, self.sim.now)
         self.counters.incr("trackers_registered")
         if old is None or not old.alive:
+            # Dead/unknown hosts have no live heap entry; give them one.
+            heappush(self._expiry_heap,
+                     (self.sim.now + self.tracker_expiry(), tracker.host))
             self._live_count_changed(+1)
+        elif old.tracker is not tracker:
+            # A live tracker replaced in place: its running attempts die
+            # without any failure report.  Flag the monitor's safety net.
+            self._needs_orphan_scan = True
 
     def heartbeat(self, tracker: TaskTracker) -> None:
         """Tracker status report; schedules tasks onto its free slots."""
@@ -163,7 +229,18 @@ class JobTracker:
         if not desc.alive:
             desc.alive = True
             self.counters.incr("trackers_reregistered")
+            heappush(self._expiry_heap,
+                     (self.sim.now + self.tracker_expiry(), tracker.host))
             self._live_count_changed(+1)
+        self.heartbeats += 1
+        round_key = (self.sim.now, self.jobs_version)
+        if round_key != self._round_key:
+            # First heartbeat of this (instant, job-list) round: let the
+            # scheduler refresh its round-scoped snapshots once; the other
+            # trackers landing at this instant share them.
+            self._round_key = round_key
+            self.heartbeat_rounds += 1
+            self.scheduler.begin_round()
         for task, speculative, locality in self.scheduler.assign(tracker):
             self._launch(task, tracker, speculative, locality)
 
@@ -231,6 +308,8 @@ class JobTracker:
         self._jobs.append(job)
         self._input_blocks[job.job_id] = data_blocks[:spec.num_maps]
         self._active_jobs_cache = None
+        self.jobs_version += 1
+        self.jobs_submitted_seq += 1
         self.counters.incr("jobs_submitted")
         return job
 
@@ -393,6 +472,7 @@ class JobTracker:
         job.status = JobStatus.SUCCEEDED
         job.finish_time = self.sim.now
         self._active_jobs_cache = None
+        self.jobs_version += 1
         self.counters.incr("jobs_succeeded")
         self._cleanup_job(job)
 
@@ -400,6 +480,7 @@ class JobTracker:
         job.status = JobStatus.FAILED
         job.finish_time = self.sim.now
         self._active_jobs_cache = None
+        self.jobs_version += 1
         self.counters.incr("jobs_failed")
         for task in list(job.maps) + list(job.reduces):
             for attempt in task.running_attempts:

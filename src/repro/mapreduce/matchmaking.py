@@ -10,13 +10,18 @@ to evaluate Hadoop schedulers on the same loadgen workload.  The rule:
    job arrived — tracked with a per-node *locality marker*.  Markers are
    cleared whenever a new job is enqueued, giving fresh jobs a fair shot
    at locality everywhere.
+
+Index-driven: passes 1 and 2 walk only the jobs the cluster index says
+have a pending map on this host / in this site (ascending job id — FIFO
+order), so the common "no local work anywhere" heartbeat is O(1), not
+O(jobs).  The all-jobs sweep survives behind ``debug_scan_assign``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from .job import Job, Task, TaskStatus, TaskType
+from .job import Task, TaskType
 from .scheduler import FifoScheduler
 
 __all__ = ["MatchmakingScheduler"]
@@ -29,56 +34,69 @@ class MatchmakingScheduler(FifoScheduler):
         super().__init__(jobtracker)
         #: host → True once the node has been refused a task this round.
         self._marker: Dict[str, bool] = {}
-        self._jobs_seen = 0
+        self._submits_seen = 0
 
-    def _maybe_reset_markers(self, jobs) -> None:
-        if len(jobs) != self._jobs_seen:
-            # New job arrived (or one finished): clear all markers so
-            # every node re-tries for locality first.
+    def _maybe_reset_markers(self) -> None:
+        # Keyed off the monotonic submit counter, NOT len(jobs): a job
+        # *finishing* must leave markers alone, and a submit + a finish
+        # landing at the same instant (len unchanged) must still clear.
+        seq = self.jobtracker.jobs_submitted_seq
+        if seq != self._submits_seen:
             self._marker.clear()
-            self._jobs_seen = len(jobs)
+            self._submits_seen = seq
 
     def _pick_map(self, tracker, jobs, already) -> Optional[Tuple[Task, bool, str]]:
-        self._maybe_reset_markers(jobs)
+        self._maybe_reset_markers()
         chosen_tasks = {t for t, _, _ in already}
+        host = tracker.host
 
         # Pass 1: any job with a node-local pending map for this tracker.
-        for job in jobs:
-            if tracker.host in job.blacklist or not job.pending_map_tasks:
+        # The index knows which jobs those are; the scan path asks all.
+        cands = jobs if self.use_scan else self.index.jobs_with_local_maps(host)
+        for job in cands:
+            if host in job.blacklist:
                 continue
-            idx = self._index_for(job)
-            for task in idx.host_maps.get(tracker.host, ()):
-                if task.status == TaskStatus.PENDING and task not in chosen_tasks:
-                    self._marker.pop(tracker.host, None)
+            tasks = self.index.locality(job).host_maps.get(host)
+            if not tasks:
+                continue
+            for task in tasks:
+                if task not in chosen_tasks:
+                    self._marker.pop(host, None)
                     return task, False, "data_local"
 
-        # Pass 2: site-local, same all-jobs sweep.
-        site = self.jobtracker.topology.site_of(tracker.host)
-        for job in jobs:
-            if tracker.host in job.blacklist or not job.pending_map_tasks:
+        # Pass 2: site-local, same shape.
+        site = self.jobtracker.topology.site_of(host)
+        cands = jobs if self.use_scan else self.index.jobs_with_site_maps(site)
+        for job in cands:
+            if host in job.blacklist:
                 continue
-            idx = self._index_for(job)
-            for task in idx.site_maps.get(site, ()):
-                if task.status == TaskStatus.PENDING and task not in chosen_tasks:
-                    self._marker.pop(tracker.host, None)
+            tasks = self.index.locality(job).site_maps.get(site)
+            if not tasks:
+                continue
+            for task in tasks:
+                if task not in chosen_tasks:
+                    self._marker.pop(host, None)
                     return task, False, "site_local"
 
         # Pass 3: non-local — only for a node already marked (it waited
         # one round), and only from the head-of-queue job (FIFO fairness).
-        if self._marker.get(tracker.host):
-            for job in jobs:
-                if tracker.host in job.blacklist:
+        if self._marker.get(host):
+            speculative = self.config.speculative_execution
+            cands = (jobs if self.use_scan
+                     else self.index.map_candidates(speculative))
+            for job in cands:
+                if host in job.blacklist:
                     continue
                 for task in job.pending_map_tasks:
                     if task not in chosen_tasks:
-                        self._marker.pop(tracker.host, None)
+                        self._marker.pop(host, None)
                         return task, False, "remote"
-                if self.config.speculative_execution:
-                    cand = self._speculation_candidate(
+                if speculative:
+                    cand = self._probe_speculation(
                         job, TaskType.MAP, tracker, chosen_tasks)
                     if cand is not None:
                         return cand, True, self._locality_of(job, cand, tracker)
             return None
         # First refusal: mark the node and send it away empty-handed.
-        self._marker[tracker.host] = True
+        self._marker[host] = True
         return None

@@ -8,19 +8,25 @@ has at most two copies of execution in the system." (§III-B2)
 "The default Hadoop scheduler will attempt to schedule Map tasks on nodes
 that have the input data.  If it is unable to find a data local node, it
 will attempt to schedule the Map task in the same site as the input data."
-(§III-B2) — the locality ladder implemented by :meth:`FifoScheduler._pick_map`.
+(§III-B2) — the locality ladder implemented by :meth:`FifoScheduler._try_map`.
 
-Like Hadoop's JobInProgress, the scheduler builds per-job caches mapping
-each host (and each site) to the map tasks whose input blocks live there,
-computed once at job initialization from the block locations.  This keeps
-per-heartbeat work O(1)-ish even with thousands of trackers.
+Scheduling is *index-driven*: the cluster-wide
+:class:`~repro.mapreduce.pending_index.ClusterPendingIndex` is updated on
+task-state events, and a heartbeat walks only the jobs that can actually
+yield work (pending work present, or a speculation gate passed).  The
+steady-state heartbeat — no pending work, all gates in the future — costs
+O(1).  The original per-heartbeat all-jobs scan survives behind
+``MRConfig.debug_scan_assign``; the two paths share the same per-job
+decision bodies and the same event-maintained lists, so they produce
+bit-identical assignment streams (the equivalence suite asserts this).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
-from .job import Job, JobStatus, Task, TaskStatus, TaskType
+from .job import Job, Task, TaskType
+from .pending_index import ClusterPendingIndex, JobLocalityIndex
 
 if TYPE_CHECKING:  # pragma: no cover
     from .jobtracker import JobTracker
@@ -36,6 +42,11 @@ class TaskScheduler:
         self.jobtracker = jobtracker
         self.config = jobtracker.config
 
+    def begin_round(self) -> None:
+        """Hook: the jobtracker starts a new heartbeat *round* (first
+        heartbeat at a sim instant, or the job list changed mid-instant).
+        Round-scoped snapshots/resets go here, not in :meth:`assign`."""
+
     def assign(self, tracker: "TaskTracker") -> List[Tuple[Task, bool, str]]:
         """Return ``(task, speculative, locality)`` assignments for one
         heartbeat from ``tracker``.  ``locality`` is one of ``data_local``,
@@ -43,69 +54,37 @@ class TaskScheduler:
         raise NotImplementedError
 
 
-class _JobLocalityIndex:
-    """Host → map tasks and site → map tasks, from initial block placement.
-
-    The per-host/per-site lists are insertion-ordered dicts used as sets.
-    Tasks that leave the PENDING state are *pruned* during scans, so a
-    long-lived job's locality lookups stop walking finished work (at 10k
-    nodes the per-heartbeat scan would otherwise be dominated by completed
-    tasks).  Pruning is revert-safe: a pruned task that returns to PENDING
-    (fetch-failure re-execution, lost tracker) is re-admitted through the
-    job's requeue listener, using the locations recorded at build time.
-    """
-
-    __slots__ = ("host_maps", "site_maps", "_locations")
-
-    def __init__(self, job: Job, jobtracker: "JobTracker") -> None:
-        self.host_maps: Dict[str, Dict[Task, None]] = {}
-        self.site_maps: Dict[str, Dict[Task, None]] = {}
-        #: task → (hosts, sites) snapshot for revert-safe re-admission.
-        self._locations: Dict[Task, tuple] = {}
-        blocks = jobtracker.input_blocks(job)
-        topo = jobtracker.topology
-        for task in job.maps:
-            try:
-                locations = jobtracker.namenode.locate(blocks[task.index].block_id)
-            except Exception:
-                locations = []
-            sites = []
-            for host in locations:
-                self.host_maps.setdefault(host, {})[task] = None
-                site = topo.site_of(host)
-                if site not in sites:
-                    sites.append(site)
-            for site in sites:
-                self.site_maps.setdefault(site, {})[task] = None
-            if locations:
-                self._locations[task] = (tuple(locations), tuple(sites))
-        job.subscribe_task_requeued(self._readmit)
-
-    def _readmit(self, task: Task) -> None:
-        """A pruned task went back to PENDING: restore its index entries."""
-        loc = self._locations.get(task)
-        if loc is None:
-            return
-        hosts, sites = loc
-        for host in hosts:
-            self.host_maps.setdefault(host, {})[task] = None
-        for site in sites:
-            self.site_maps.setdefault(site, {})[task] = None
-
-
 class FifoScheduler(TaskScheduler):
     """Hadoop 0.20's default scheduler, as used by HOG."""
 
     def __init__(self, jobtracker: "JobTracker") -> None:
         super().__init__(jobtracker)
-        self._index: Dict[int, _JobLocalityIndex] = {}
+        self.index = ClusterPendingIndex(jobtracker,
+                                         on_job_removed=self._job_removed)
+        #: Debug fallback: the original per-heartbeat all-jobs scan.  Kept
+        #: for the scheduler-equivalence suite; decision bodies are shared
+        #: with the index path.
+        self.use_scan = bool(getattr(self.config, "debug_scan_assign", False))
 
-    def _index_for(self, job: Job) -> _JobLocalityIndex:
-        idx = self._index.get(job.job_id)
-        if idx is None:
-            idx = self._index[job.job_id] = _JobLocalityIndex(job, self.jobtracker)
-        return idx
+    # -- lifecycle hooks -----------------------------------------------------
+    def _job_removed(self, job: Job) -> None:
+        """Hook: ``job`` left the schedulable set (finished/failed)."""
 
+    def begin_round(self) -> None:
+        """Reconcile the index once per heartbeat round."""
+        self._refresh_index()
+
+    def _refresh_index(self, jobs: Optional[List[Job]] = None) -> None:
+        if jobs is None:
+            jobs = self.jobtracker.schedulable_jobs()
+        self.index.sync(jobs)
+        self.index.pull_spec(self.jobtracker.sim.now)
+
+    def _index_for(self, job: Job) -> JobLocalityIndex:
+        """The per-job locality index (registered on first sync)."""
+        return self.index.locality(job)
+
+    # -- assignment ----------------------------------------------------------
     def assign(self, tracker: "TaskTracker") -> List[Tuple[Task, bool, str]]:
         """One heartbeat's assignments for ``tracker`` (see base class)."""
         out: List[Tuple[Task, bool, str]] = []
@@ -116,6 +95,9 @@ class FifoScheduler(TaskScheduler):
         jobs = self.jobtracker.schedulable_jobs()
         if not jobs:
             return out
+        # Defensive re-sync for direct assign() callers; O(1) when the
+        # round bookkeeping already ran (version-gated + lazy heap top).
+        self._refresh_index(jobs)
 
         for _ in range(min(free_maps, self.config.maps_per_heartbeat)):
             pick = self._pick_map(tracker, jobs, already=out)
@@ -130,68 +112,65 @@ class FifoScheduler(TaskScheduler):
             out.append(pick)
         return out
 
-    # -- map selection -----------------------------------------------------------
+    # -- map selection -------------------------------------------------------
     def _pick_map(self, tracker, jobs, already) -> Optional[Tuple[Task, bool, str]]:
         chosen_tasks = {t for t, _, _ in already}
-        for job in jobs:
-            if tracker.host in job.blacklist:
-                continue
-            if job.pending_map_tasks:
-                task, locality = self._most_local(job, tracker, chosen_tasks)
-                if task is not None:
-                    return task, False, locality
-            if self.config.speculative_execution:
-                cand = self._speculation_candidate(job, TaskType.MAP, tracker,
-                                                   chosen_tasks)
-                if cand is not None:
-                    return cand, True, self._locality_of(job, cand, tracker)
+        speculative = self.config.speculative_execution
+        candidates = (jobs if self.use_scan
+                      else self.index.map_candidates(speculative))
+        for job in candidates:
+            pick = self._try_map(job, tracker, chosen_tasks)
+            if pick is not None:
+                return pick
+        return None
+
+    def _try_map(self, job: Job, tracker,
+                 chosen_tasks) -> Optional[Tuple[Task, bool, str]]:
+        """The per-job map decision body (shared by scan and index paths).
+
+        Must be side-effect-free and ``None`` for any job with neither a
+        pending nor a probe-worthy running map — that is what lets the
+        index path skip such jobs without changing the stream."""
+        if tracker.host in job.blacklist:
+            return None
+        if job.pending_map_tasks:
+            task, locality = self._most_local(job, tracker, chosen_tasks)
+            if task is not None:
+                return task, False, locality
+        if self.config.speculative_execution:
+            cand = self._probe_speculation(job, TaskType.MAP, tracker,
+                                           chosen_tasks)
+            if cand is not None:
+                return cand, True, self._locality_of(job, cand, tracker)
         return None
 
     def _most_local(self, job: Job, tracker,
                     chosen_tasks) -> Tuple[Optional[Task], str]:
         """Locality ladder: node-local block → site-local block → any.
 
-        Non-pending tasks encountered during the scan are pruned from the
-        index list on the spot (amortised O(1): each task pays one prune
-        per departure from PENDING; reverts re-admit via the job hook)."""
-
-        def first_pending(tasks: Optional[Dict[Task, None]]) -> Optional[Task]:
-            if not tasks:
-                return None
-            found = None
-            stale = None
+        The per-host/per-site lists hold exactly the PENDING tasks (the
+        cluster index maintains them on transitions), so the ladder is a
+        first-not-chosen lookup — no status checks, no pruning."""
+        idx = self.index.locality(job)
+        tasks = idx.host_maps.get(tracker.host)
+        if tasks:
             for t in tasks:
-                if t.status == TaskStatus.PENDING:
-                    if t not in chosen_tasks:
-                        found = t
-                        break
-                elif stale is None:
-                    stale = [t]
-                else:
-                    stale.append(t)
-            if stale is not None:
-                for t in stale:
-                    del tasks[t]
-            return found
-
-        idx = self._index_for(job)
-        task = first_pending(idx.host_maps.get(tracker.host))
-        if task is not None:
-            return task, "data_local"
-        site = self.jobtracker.topology.site_of(tracker.host)
-        task = first_pending(idx.site_maps.get(site))
-        if task is not None:
-            return task, "site_local"
+                if t not in chosen_tasks:
+                    return t, "data_local"
+        tasks = idx.site_maps.get(self.jobtracker.topology.site_of(tracker.host))
+        if tasks:
+            for t in tasks:
+                if t not in chosen_tasks:
+                    return t, "site_local"
         for t in job.pending_map_tasks:
             if t not in chosen_tasks:
                 return t, "remote"
         return None, "remote"
 
     def _locality_of(self, job: Job, task: Task, tracker) -> str:
-        # Answer from the build-time location snapshot, NOT the scan
-        # indexes: those prune non-pending tasks, and this is asked about
-        # *running* tasks (speculative copies).
-        loc = self._index_for(job)._locations.get(task)
+        # Answer from the build-time location snapshot, NOT the pending
+        # lists: this is asked about *running* tasks (speculative copies).
+        loc = self.index.locality(job).locations.get(task)
         if loc is None:
             return "remote"
         hosts, sites = loc
@@ -201,36 +180,61 @@ class FifoScheduler(TaskScheduler):
             return "site_local"
         return "remote"
 
-    # -- reduce selection -----------------------------------------------------------
+    # -- reduce selection ----------------------------------------------------
     def _pick_reduce(self, tracker, jobs, already) -> Optional[Tuple[Task, bool, str]]:
         chosen_tasks = {t for t, _, _ in already}
-        for job in jobs:
-            if tracker.host in job.blacklist:
-                continue
-            if not job.reduces_schedulable(self.config.reduce_slowstart):
-                continue
-            if job.pending_reduce_tasks:
-                best = None
-                for t in job.pending_reduce_tasks:
-                    if t not in chosen_tasks and (best is None
-                                                  or t.index < best.index):
-                        best = t
-                if best is not None:
-                    return best, False, "n/a"
-            if self.config.speculative_execution:
-                cand = self._speculation_candidate(job, TaskType.REDUCE, tracker,
-                                                   chosen_tasks)
-                if cand is not None:
-                    return cand, True, "n/a"
+        speculative = self.config.speculative_execution
+        candidates = (jobs if self.use_scan
+                      else self.index.reduce_candidates(speculative))
+        for job in candidates:
+            pick = self._try_reduce(job, tracker, chosen_tasks)
+            if pick is not None:
+                return pick
         return None
 
-    # -- speculation -----------------------------------------------------------------
+    def _try_reduce(self, job: Job, tracker,
+                    chosen_tasks) -> Optional[Tuple[Task, bool, str]]:
+        """Per-job reduce decision body (shared by scan and index paths)."""
+        if tracker.host in job.blacklist:
+            return None
+        if not job.reduces_schedulable(self.config.reduce_slowstart):
+            return None
+        if job.pending_reduce_tasks:
+            best = None
+            for t in job.pending_reduce_tasks:
+                if t not in chosen_tasks and (best is None
+                                              or t.index < best.index):
+                    best = t
+            if best is not None:
+                return best, False, "n/a"
+        if self.config.speculative_execution:
+            cand = self._probe_speculation(job, TaskType.REDUCE, tracker,
+                                           chosen_tasks)
+            if cand is not None:
+                return cand, True, "n/a"
+        return None
+
+    # -- speculation -----------------------------------------------------------
+    def _probe_speculation(self, job: Job, task_type: str, tracker,
+                           chosen_tasks) -> Optional[Task]:
+        """Probe + arming maintenance: an empty-handed probe that pushed
+        the job's gate into the future snoozes it in the cluster index, so
+        the index path stops visiting it until the gate passes (or a
+        completion re-arms it)."""
+        cand = self._speculation_candidate(job, task_type, tracker,
+                                           chosen_tasks)
+        if cand is None:
+            gate = job.spec_gate[task_type]
+            if gate > self.jobtracker.sim.now:
+                self.index.spec[task_type].snooze(job, gate)
+        return cand
+
     def _speculation_candidate(self, job: Job, task_type: str, tracker,
                                chosen_tasks) -> Optional[Task]:
         """A running task whose attempt is 1/3 slower than the job average,
         eligible for one more copy, and not already running on this node."""
         now = self.jobtracker.sim.now
-        # Time gate: a previous scan proved nothing can qualify before
+        # Time gate: a previous probe proved nothing can qualify before
         # this instant (oldest attempt + threshold).  The gate is reset
         # whenever a completion moves the average-duration baseline, so
         # skipping is exact — and turns the per-heartbeat, per-job scan

@@ -72,6 +72,11 @@ class TaskTracker:
         self.state = TaskTracker.DEAD
         self.hdfs = HdfsClient(sim, namenode, fabric, host)
         self._running: List[TaskAttempt] = []
+        # Slot occupancy as plain counters: the scheduler reads free
+        # slots on every heartbeat, so these must be O(1), not a sweep
+        # over ``_running``.
+        self._n_running_maps = 0
+        self._n_running_reduces = 0
         self._heartbeat_proc = None
 
     # -- lifecycle --------------------------------------------------------------
@@ -117,12 +122,23 @@ class TaskTracker:
     @property
     def running_maps(self) -> int:
         """Occupied map slots."""
-        return sum(1 for a in self._running if a.task.type == TaskType.MAP)
+        return self._n_running_maps
 
     @property
     def running_reduces(self) -> int:
         """Occupied reduce slots."""
-        return sum(1 for a in self._running if a.task.type == TaskType.REDUCE)
+        return self._n_running_reduces
+
+    def _untrack(self, attempt: TaskAttempt) -> None:
+        """Drop an attempt from the running set (idempotent)."""
+        try:
+            self._running.remove(attempt)
+        except ValueError:
+            return
+        if attempt.task.type == TaskType.MAP:
+            self._n_running_maps -= 1
+        else:
+            self._n_running_reduces -= 1
 
     @property
     def free_map_slots(self) -> int:
@@ -139,7 +155,8 @@ class TaskTracker:
         try:
             while self.is_alive:
                 self.jobtracker.heartbeat(self)
-                yield self.sim.timeout(self.config.heartbeat_interval)
+                # Ask per beat: the period adapts to cluster size.
+                yield self.sim.timeout(self.jobtracker.heartbeat_interval())
         except Interrupt:
             return
 
@@ -147,14 +164,17 @@ class TaskTracker:
     def launch(self, attempt: TaskAttempt) -> None:
         """Start executing an assigned attempt."""
         self._running.append(attempt)
+        if attempt.task.type == TaskType.MAP:
+            self._n_running_maps += 1
+        else:
+            self._n_running_reduces += 1
         attempt.process = self.sim.process(
             self._run_attempt(attempt),
             name=f"attempt:{attempt.attempt_id}@{self.host}")
 
     def kill_attempt(self, attempt: TaskAttempt) -> None:
         """Abort a running attempt (speculation lost / task obsolete)."""
-        if attempt in self._running:
-            self._running.remove(attempt)
+        self._untrack(attempt)
         if attempt.process is not None and attempt.process.is_alive:
             if self.sim.active_process is not attempt.process:
                 attempt.process.interrupt("killed")
@@ -178,22 +198,20 @@ class TaskTracker:
             if attempt.task.type == TaskType.MAP:
                 output = yield from self._run_map(attempt)
                 attempt.status = TaskStatus.COMPLETED
-                self._running.remove(attempt) if attempt in self._running else None
+                self._untrack(attempt)
                 self.jobtracker.map_attempt_completed(attempt, output)
             else:
                 yield from self._run_reduce(attempt)
                 attempt.status = TaskStatus.COMPLETED
-                self._running.remove(attempt) if attempt in self._running else None
+                self._untrack(attempt)
                 self.jobtracker.reduce_attempt_completed(attempt)
         except Interrupt:
-            if attempt in self._running:
-                self._running.remove(attempt)
+            self._untrack(attempt)
             return
         except (TaskExecutionError, DiskFullError, DiskIOError,
                 BlockUnavailableError, TransferFailed) as exc:
             attempt.status = TaskStatus.FAILED
-            if attempt in self._running:
-                self._running.remove(attempt)
+            self._untrack(attempt)
             self.jobtracker.attempt_failed(attempt, str(exc))
 
     # -- map ------------------------------------------------------------------------

@@ -51,8 +51,9 @@ __all__ = ["PhaseStat", "ScenarioResult", "ScenarioRunner",
 #: Channel-core statistics recorded per run (names match the FairQueue
 #: attributes and the scale-sweep benchmark's JSON fields).
 CHANNEL_STATS = ("rebalances", "uniform_groups", "uniform_completions",
-                 "cross_partition_passes", "starvation_rescues",
-                 "peak_demands")
+                 "uniform_leaves", "uniform_joins", "uniform_pins",
+                 "cross_partition_passes",
+                 "starvation_rescues", "peak_demands")
 
 
 # -- shared workload-driving helpers (the single copy in the codebase) ----
@@ -140,6 +141,9 @@ class ScenarioResult:
     phases: List[PhaseStat] = field(default_factory=list)
     #: Channel-core pass statistics plus the fabric's peak flow count.
     channel: Dict[str, int] = field(default_factory=dict)
+    #: Control-plane counters (heartbeat rounds, scheduler index updates,
+    #: namenode block-report aggregates) — the delta-driven path's cost.
+    control: Dict[str, int] = field(default_factory=dict)
     #: Map-launch locality histogram summed over jobs.
     locality: Dict[str, int] = field(default_factory=dict)
     #: Glidein provisioning/preemption counters from the factory.
@@ -172,6 +176,7 @@ class ScenarioResult:
             "events_per_second": self.events_per_second,
             "phases": [p.to_dict() for p in self.phases],
             "channel": dict(self.channel),
+            "control": dict(self.control),
             "locality": dict(self.locality),
             "preemptions": dict(self.preemptions),
             "failed_jobs": self.failed_jobs,
@@ -370,6 +375,7 @@ class ScenarioRunner:
             events=sim.events_processed,
             phases=phases,
             channel=stats,
+            control=hog.control_plane_stats(),
             locality=self.workload.locality,
             preemptions=preempt,
             failed_jobs=self.workload.failed_jobs,

@@ -202,16 +202,35 @@ class _UniformGroup:
     cumulative bytes drained per member, and a member finishes when the
     clock passes its formation-time key.  Valid only while the invariant
     holds that no member can be re-rated by anything except membership
-    changes of this very group — the queue dissolves the group the moment
-    any constraint in its span is marked dirty.
+    changes of this very group.  Foreign traffic sharing a span
+    constraint does *not* dissolve the group: filling passes pin the
+    members at the clock share, rate the foreign demands into the span
+    constraint's residual capacity, and record that load (``_foreign``)
+    so the group's own threshold accounting stays exact.  The pin is
+    provably max-min exact while ``capacity - k*share >= n_foreign *
+    share`` on every shared constraint — past that point the joint
+    allocation would squeeze the members below the clock share, and the
+    pass dissolves the group instead.
+
+    Membership is *delta-driven*: a new demand whose constraints all lie
+    inside the span (or are fresh and private) joins in O(log n) via
+    :meth:`try_join` — no component walk, no dissolve — and completions
+    leave through the clock heap.  Non-bottleneck span constraints may be
+    *shared* by several members as long as they stay slack at the current
+    share; the tightest such limit is tracked in a lazy threshold heap,
+    and the group dissolves itself the moment completions push the share
+    past it.  This is what keeps a mass ramp (10k nodes pulling the
+    worker package through one central NIC) from costing one O(n)
+    refill per arrival.
     """
 
     __slots__ = ("queue", "constraint", "members", "heap", "drained",
-                 "clock_at", "armed_at", "version", "span")
+                 "clock_at", "armed_at", "version", "span", "counts",
+                 "_thr_heap", "_seq", "_tseq", "_foreign")
 
     def __init__(self, queue: "FairQueue", constraint: Constraint,
-                 members: Dict[Demand, None],
-                 span: List[Constraint]) -> None:
+                 members: Dict[Demand, None], span: List[Constraint],
+                 counts: Dict[Constraint, int]) -> None:
         self.queue = queue
         self.constraint = constraint
         self.members = members
@@ -222,6 +241,22 @@ class _UniformGroup:
         #: Every constraint touched by any member; all point back here so
         #: dirt anywhere in the span dissolves the group first.
         self.span = span
+        #: Live members through each non-bottleneck span constraint.
+        self.counts = counts
+        #: Lazy min-heap of (capacity / k, seq, constraint, k): the group
+        #: stays valid while the common share is at or below the top
+        #: *current* entry (entries self-validate against ``counts``).
+        self._thr_heap: List[tuple] = []
+        self._tseq = 0
+        for c, k in counts.items():
+            self._thr_heap.append((c.capacity / k, self._tseq, c, k))
+            self._tseq += 1
+        heapq.heapify(self._thr_heap)
+        #: Foreign (non-member) load currently allocated on each shared
+        #: span constraint, as recorded by the last filling pass that
+        #: pinned this group.  Insertion-ordered for reproducible dirty
+        #: marks on refresh.
+        self._foreign: Dict[Constraint, float] = {}
         heap = []
         seq = 0
         for d in members:
@@ -231,6 +266,7 @@ class _UniformGroup:
             seq += 1
         heapq.heapify(heap)
         self.heap = heap
+        self._seq = seq
         for c in span:
             c.group = self
 
@@ -244,6 +280,130 @@ class _UniformGroup:
     def share(self) -> float:
         """Current per-member fair share."""
         return self.constraint.capacity / len(self.members)
+
+    def _threshold(self) -> float:
+        """Max sustainable share before some shared span constraint binds
+        (lazily discarding entries whose member count — or recorded
+        foreign load — moved on since the push)."""
+        heap = self._thr_heap
+        counts = self.counts
+        foreign = self._foreign
+        while heap:
+            value, _, c, k = heap[0]
+            if counts.get(c, 0) == k and \
+                    value == (c.capacity - foreign.get(c, 0.0)) / k:
+                return value
+            heapq.heappop(heap)
+        return float("inf")
+
+    def _push_threshold(self, c: Constraint, k: int) -> None:
+        """Record a fresh limit entry for span constraint ``c`` at member
+        count ``k`` (entries self-validate in :meth:`_threshold`)."""
+        self._tseq += 1
+        heapq.heappush(self._thr_heap,
+                       ((c.capacity - self._foreign.get(c, 0.0)) / k,
+                        self._tseq, c, k))
+
+    def set_foreign(self, c: Constraint, load: float) -> None:
+        """A filling pass re-rated the foreign demands sharing span
+        constraint ``c``: remember their total allocation so threshold
+        checks account for it."""
+        if load > 0.0:
+            self._foreign[c] = load
+        else:
+            self._foreign.pop(c, None)
+        k = self.counts.get(c, 0)
+        if k:
+            self._push_threshold(c, k)
+
+    def _foreign_refresh(self) -> None:
+        """The common share changed (membership moved): foreign demands
+        sharing span constraints see a different residual, so schedule a
+        same-instant pass to re-rate them.  Members are pinned by those
+        passes, so this stays O(foreign), never O(members)."""
+        if not self._foreign:
+            return
+        queue = self.queue
+        for c in self._foreign:
+            queue._dirty[c] = None
+        queue._mark_dirty()
+
+    def try_join(self, demand: Demand) -> bool:
+        """Admit an arriving demand without a filling pass, if exact.
+
+        The demand must drain through the bottleneck (which stays
+        members-only), and the reduced share must stay within every
+        shared constraint's limit.  Span constraints carrying foreign
+        traffic are fine while the pin stays exact: the members' total
+        plus the foreigners' current allocation must fit, and the
+        foreigners must keep at least the common share each (otherwise
+        joint max-min would squeeze the members and the group must go
+        generic).  The caller has already registered the demand on its
+        constraints."""
+        bottleneck = self.constraint
+        if bottleneck not in demand.constraints:
+            return False
+        if len(bottleneck.demands) != len(self.members) + 1:
+            return False  # a foreign demand is pending on the bottleneck
+        share = bottleneck.capacity / (len(self.members) + 1)
+        counts = self.counts
+        foreign = self._foreign
+        contested: Optional[List[Constraint]] = None
+        for c in demand.constraints:
+            if c is bottleneck:
+                continue
+            if c.group is not None and c.group is not self:
+                return False  # another group owns it: stay generic
+            k = counts.get(c, 0) + 1
+            n_foreign = len(c.demands) - k
+            if n_foreign:
+                f = foreign.get(c)
+                if f is None:
+                    # Untracked sharers (no pass pinned us here yet):
+                    # account their live rates directly.
+                    f = 0.0
+                    for d2 in c.demands:
+                        if d2._group is not self and d2 is not demand:
+                            f += d2.rate
+                if k * share > c.capacity - f or \
+                        c.capacity - k * share < n_foreign * share:
+                    return False
+                if contested is None:
+                    contested = [c]
+                else:
+                    contested.append(c)
+            elif k * share > c.capacity:
+                return False
+        if share > self._threshold():
+            return False
+        self._advance()
+        self.members[demand] = None
+        demand._group = self
+        demand._group_key = self.drained + demand.remaining
+        demand.rate = share
+        demand._last_update = self.queue.sim.now
+        self._seq += 1
+        heapq.heappush(self.heap, (demand._group_key, self._seq, demand))
+        for c in demand.constraints:
+            if c is bottleneck:
+                continue
+            k = counts.get(c, 0) + 1
+            counts[c] = k
+            self._push_threshold(c, k)
+            if c.group is None:
+                c.group = self
+                self.span.append(c)
+        self.queue.uniform_joins += 1
+        # The share dropped: foreign sharers gained residual.  Re-rate
+        # them in a same-instant pass (this pins the group, so the pass
+        # costs O(foreign)) and record newly contested constraints.
+        if contested is not None:
+            for c in contested:
+                self.queue._dirty[c] = None
+            self.queue._mark_dirty()
+        self._foreign_refresh()
+        self.rearm()
+        return True
 
     def dissolve(self) -> None:
         """Materialise member state and fall back to generic mode.
@@ -265,13 +425,71 @@ class _UniformGroup:
                 c.group = None
         self.members = {}
         self.heap = []
+        self.counts = {}
+        self._thr_heap = []
+        self._foreign = {}
 
     def remove(self, demand: Demand) -> None:
-        """A member was aborted externally: dissolve (rare path)."""
-        self.dissolve()
+        """A member was aborted externally: leave in O(log members).
+
+        The mirror of :meth:`try_join` — preemption waves abort many
+        package downloads, and dissolving + re-filling a 10k-demand
+        component per departure is exactly the scan-per-event pattern
+        this PR removes.  The survivors' share rises; the group only
+        dissolves when that pushes it past a shared span constraint's
+        tolerance (checked against the lazy threshold heap)."""
+        members = self.members
+        if demand not in members:
+            demand._group = None
+            return
+        self._advance()
+        del members[demand]
+        demand.remaining = max(0.0, demand._group_key - self.drained)
+        demand._last_update = self.queue.sim.now
+        demand._group = None
+        counts = self.counts
         for c in demand.constraints:
-            self.queue._dirty[c] = None
-        self.queue._mark_dirty()
+            if c is self.constraint:
+                continue
+            k = counts.get(c)
+            if k is None:
+                continue
+            k -= 1
+            if k:
+                counts[c] = k
+                self._push_threshold(c, k)
+            else:
+                del counts[c]
+                # No member crosses this constraint any more: release
+                # ownership so arrivals there take the generic path (any
+                # foreign sharers get re-rated by the refresh below).
+                if c.group is self:
+                    c.group = None
+                if c in self._foreign:
+                    self.queue._dirty[c] = None
+                    self.queue._mark_dirty()
+                    del self._foreign[c]
+        if not members:
+            self.version += 1
+            self.armed_at = None
+            for c in self.span:
+                if c.group is self:
+                    c.group = None
+            self._foreign_refresh()
+            self.heap = []
+            self.counts = {}
+            self._thr_heap = []
+            self._foreign = {}
+            return
+        if self.constraint.capacity / len(members) > self._threshold():
+            for c in self.span:
+                self.queue._dirty[c] = None
+            self.dissolve()
+            self.queue._mark_dirty()
+            return
+        self.queue.uniform_leaves += 1
+        self._foreign_refresh()
+        self.rearm()
 
     def rearm(self) -> None:
         """Aim the group's single wake-up at the earliest finish."""
@@ -303,6 +521,9 @@ class _UniformGroup:
         queue = self.queue
         eps = queue.EPSILON
         heap, members = self.heap, self.members
+        counts = self.counts
+        bottleneck = self.constraint
+        left = False
         while heap and heap[0][0] <= self.drained + eps:
             d = heapq.heappop(heap)[2]
             if d not in members:
@@ -310,17 +531,47 @@ class _UniformGroup:
             members.pop(d, None)
             d._group = None
             d.remaining = 0.0
+            for c in d.constraints:
+                if c is bottleneck:
+                    continue
+                k = counts[c] - 1
+                if k:
+                    counts[c] = k
+                    self._push_threshold(c, k)
+                else:
+                    del counts[c]
+                    if c.group is self:
+                        c.group = None
+                    if c in self._foreign:
+                        queue._dirty[c] = None
+                        queue._mark_dirty()
+                        del self._foreign[c]
+            left = True
             queue.uniform_completions += 1
             queue._unregister(d)
             if not d.done.triggered:
                 d.done.succeed(d)
         if members:
+            # Departures raised the common share; if it now exceeds what
+            # some shared span constraint can sustain, the allocation is
+            # no longer uniform — hand the survivors to a generic pass.
+            if left and \
+                    bottleneck.capacity / len(members) > self._threshold():
+                for c in self.span:
+                    queue._dirty[c] = None
+                self.dissolve()
+                queue._mark_dirty()
+                return
+            if left:
+                self._foreign_refresh()
             self.rearm()
         else:
             self.version += 1
             for c in self.span:
                 if c.group is self:
                     c.group = None
+            self._foreign_refresh()
+            self._foreign = {}
 
 
 class FairQueue:
@@ -355,6 +606,13 @@ class FairQueue:
         self.uniform_groups = 0
         #: Demands completed by a group clock without a filling pass.
         self.uniform_completions = 0
+        #: Arrivals admitted into a live group without a filling pass.
+        self.uniform_joins = 0
+        #: Aborted members that left a live group without a filling pass.
+        self.uniform_leaves = 0
+        #: Filling passes that pinned a live group (members clock-rated,
+        #: only the foreign sharers re-rated) instead of dissolving it.
+        self.uniform_pins = 0
         #: Filling passes whose component spanned >1 partition.
         self.cross_partition_passes = 0
         #: Highwater mark of concurrent live demands.
@@ -405,6 +663,17 @@ class FairQueue:
             else:
                 c._bound_sum += b
         self._account_partitions(demand, +1)
+        # Delta-driven arrival: when the demand lands wholly inside one
+        # live uniform group's span (plus fresh private constraints), it
+        # joins the group's virtual clock directly — no dirty marks, no
+        # component walk.  This is the mass-arrival fast path: n demands
+        # piling onto one bottleneck cost O(n log n), not O(n²).
+        for c in demand.constraints:
+            group = c.group
+            if group is not None:
+                if group.try_join(demand):
+                    return
+                break
         for c in demand.constraints:
             self._dirty[c] = None
         self._mark_dirty()
@@ -556,11 +825,17 @@ class FairQueue:
         demands/constraints with a batch id (no per-pass hash sets)."""
         if not self._dirty:
             return
-        # Dissolve uniform groups whose span got dirtied: their members
-        # re-enter generic filling with exact remaining/rate snapshots.
+        # A dirty constraint owned by a uniform group does NOT dissolve
+        # it: the pass pins the members at the clock share and re-rates
+        # only the foreign demands (see _fill_component).  The single
+        # exception is the group's own bottleneck with its members-only
+        # invariant broken — a foreign demand landed there, and the
+        # virtual clock cannot represent that.
         for c in list(self._dirty):
-            if c.group is not None:
-                c.group.dissolve()
+            g = c.group
+            if g is not None and c is g.constraint and \
+                    len(c.demands) != len(g.members):
+                g.dissolve()
         seeds, self._dirty = self._dirty, {}
         self._walk_id += 1
         wid = self._walk_id
@@ -568,10 +843,11 @@ class FairQueue:
             # Seed from the constraint's demands (copy: drained demands
             # unregister mid-fill): a slack seed is never traversed, but
             # each of its demands has at least one binding constraint, so
-            # its component is still found and re-rated.
+            # its component is still found and re-rated.  Group members
+            # are clock-managed and never seed a generic fill.
             if seed.demands:
                 for d in list(seed.demands):
-                    if d._visit != wid:
+                    if d._visit != wid and d._group is None:
                         self._fill_component(d, wid)
 
     def _fill_component(self, start: Demand, wid: int) -> None:
@@ -622,7 +898,11 @@ class FairQueue:
                     for d2 in c.demands:
                         if d2._visit != wid:
                             d2._visit = wid
-                            push(d2)
+                            # Uniform-group members are clock-managed:
+                            # stamp them (so they are not re-examined)
+                            # but never walk or re-rate them.
+                            if d2._group is None:
+                                push(d2)
         if multi_partition:
             self.cross_partition_passes += 1
 
@@ -645,60 +925,120 @@ class FairQueue:
         seq = 0
         best_share = float("inf")
         best: Optional[Constraint] = None
+        #: Constraints shared with a live uniform group, filled with the
+        #: members pinned at the clock share: (constraint, group, avail).
+        pinned: Optional[List[tuple]] = None
+        conflicts: Optional[List[_UniformGroup]] = None
         for c in links:
-            n = len(c.demands)
-            if n:
+            g = c.group
+            if g is not None:
+                # A live uniform group shares this constraint.  Its
+                # members are exactly clock-rated, so fill only the
+                # foreign demands into the residual capacity.
+                k = g.counts.get(c, 0)
+                gshare = g.share()
+                n = len(c.demands) - k
                 c._ucount = n
+                if not n:
+                    continue
+                avail = c.capacity - k * gshare
+                if avail < n * gshare:
+                    # cap/(k+n) < share: joint max-min would squeeze the
+                    # members below the clock share — the pin is not
+                    # exact here, so go generic for this component.
+                    if conflicts is None:
+                        conflicts = [g]
+                    elif g not in conflicts:
+                        conflicts.append(g)
+                    continue
+                c._residual = avail
+                share = avail / n
+                if pinned is None:
+                    pinned = [(c, g, avail)]
+                else:
+                    pinned.append((c, g, avail))
+            else:
+                n = len(c.demands)
+                c._ucount = n
+                if not n:
+                    continue
                 c._residual = c.capacity
                 share = c.capacity / n
-                heap.append((share, seq, c))
-                seq += 1
-                if share < best_share:
-                    best_share = share
-                    best = c
+            heap.append((share, seq, c))
+            seq += 1
+            if share < best_share:
+                best_share = share
+                best = c
+
+        if pinned is not None and conflicts is None:
+            self.uniform_pins += 1
+
+        if conflicts is not None:
+            for g in conflicts:
+                g.dissolve()
+            # Re-walk with the members materialised as plain demands
+            # (the component is connected, so any affected demand finds
+            # them).  The retry re-counts the pass.
+            self._walk_id += 1
+            self.rebalances -= 1
+            self._fill_component(affected[0], self._walk_id)
+            return
 
         # Single-bottleneck fast path: when the minimum-share constraint
         # carries *every* component demand, round one of progressive
         # filling freezes the whole component at that share.
         if best._ucount == len(affected):
             min_remaining = float("inf")
+            pid = self.rebalances
             for d in affected:
                 d.rate = best_share
-                d._fill_mark = self.rebalances  # frozen this pass
+                d._fill_mark = pid  # frozen this pass
                 if d.remaining < min_remaining:
                     min_remaining = d.remaining
-            if self._try_uniform_group(best, affected):
+            if pinned is not None:
+                for c, g, avail in pinned:
+                    g.set_foreign(c, c._ucount * best_share)
+            elif self._try_uniform_group(best, affected):
                 return
             self._arm_bottleneck_timer(best, min_remaining / best_share)
             return
 
         self._progressive_fill(affected, heap, seq)
+        if pinned is not None:
+            for c, g, avail in pinned:
+                r = c._residual
+                g.set_foreign(c, avail - r if r < avail else 0.0)
 
     def _try_uniform_group(self, bottleneck: Constraint,
                            members: List[Demand]) -> bool:
-        """Enter virtual-clock mode if the allocation stays uniform for the
-        component's whole remaining lifetime: every member's non-bottleneck
-        constraints must be private (one demand) and no tighter than the
-        bottleneck's full capacity — then even the last survivor alone is
-        still bottlenecked here, and completion order is fixed now.
+        """Enter virtual-clock mode if the allocation is exactly uniform:
+        every non-bottleneck constraint must carry only members (a foreign
+        demand — reachable through a slack-skipped constraint — would
+        change rates without dirtying the span) and must stay slack at the
+        common share.  Shared constraints are fine; their limits go into
+        the group's threshold heap, and the group dissolves itself when
+        completions push the share past the tightest one.
 
         The group's span covers *every* member constraint (slack ones
         included): any dirt anywhere in the span must dissolve the group
         before the members can be walked with stale group-mode state."""
-        cap = bottleneck.capacity
+        share = bottleneck.capacity / len(members)
         span: List[Constraint] = [bottleneck]
-        seen = {bottleneck}
+        counts: Dict[Constraint, int] = {}
         for d in members:
             for c in d.constraints:
                 if c is bottleneck:
                     continue
-                if len(c.demands) != 1 or c.capacity < cap:
-                    return False
-                if c not in seen:
-                    seen.add(c)
+                k = counts.get(c, 0)
+                if k == 0:
                     span.append(c)
+                counts[c] = k + 1
+        for c, k in counts.items():
+            if len(c.demands) != k or k * share > c.capacity:
+                return False
         self.uniform_groups += 1
-        group = _UniformGroup(self, bottleneck, dict.fromkeys(members), span)
+        group = _UniformGroup(self, bottleneck, dict.fromkeys(members),
+                              span, counts)
         group.rearm()
         return True
 
@@ -766,7 +1106,9 @@ class FairQueue:
                 frozen_sum = 0.0
                 unfrozen = 0
                 for d in link.demands:
-                    if d._fill_mark == pid:
+                    if d._group is not None:
+                        frozen_sum += d._group.share()
+                    elif d._fill_mark == pid:
                         frozen_sum += d.rate
                     else:
                         unfrozen += 1
@@ -779,7 +1121,7 @@ class FairQueue:
             best_share = cur
             min_remaining = float("inf")
             for d in link.demands:
-                if d._fill_mark == pid:
+                if d._fill_mark == pid or d._group is not None:
                     continue
                 d._fill_mark = pid
                 d.rate = best_share

@@ -187,7 +187,7 @@ class TestUniformGroups:
         assert q.rebalances == 1
         assert q.uniform_completions == 4
 
-    def test_arrival_dissolves_and_reforms_group(self):
+    def test_arrival_joins_group_without_a_pass(self):
         sim = Simulator()
         q = FairQueue(sim)
         src = q.constraint("src", 100.0)
@@ -196,13 +196,18 @@ class TestUniformGroups:
         b = q.submit(1000.0, [src, p[1]])
         sim.run(until=2.0)
         assert a._group is not None
+        passes_before = q.rebalances
         c = q.submit(400.0, [src, p[2]])
         sim.run(until=2.0)
-        # New pass re-formed a group including the newcomer.
+        # The newcomer joined the live group in place: no dissolve, no
+        # filling pass, share re-split three ways on the virtual clock.
         assert c._group is not None and c._group is a._group
+        assert q.rebalances == passes_before
+        assert q.uniform_joins == 1
         assert a._group.share() == pytest.approx(100.0 / 3)
         # a and b drained 100 B each before c arrived.
-        assert a.remaining + b.remaining == pytest.approx(1800.0)
+        assert (a.remaining_now(sim.now) + b.remaining_now(sim.now)
+                == pytest.approx(1800.0))
 
     def test_single_constraint_ops_use_virtual_clock(self):
         """Disk-style ops (one shared constraint) always group."""
@@ -294,6 +299,114 @@ class TestPartitionDecoupling:
         # Bridge gone: both sites decoupled again.
         assert q.partition_decoupled("siteA")
         assert q.partition_decoupled("siteB")
+
+
+class TestGroupCoexistence:
+    """Uniform groups surviving member aborts and foreign traffic on
+    their span (the delta-leave and pinned-fill paths)."""
+
+    def test_member_abort_leaves_group_without_dissolve(self):
+        """Aborting one member re-splits the clock share in place: no
+        dissolve, no filling pass, survivors complete at exact times."""
+        sim = Simulator()
+        q = FairQueue(sim)
+        src = q.constraint("src", 100.0)
+        privates = [q.constraint(f"p{i}", 100.0) for i in range(4)]
+        sizes = [100.0, 200.0, 300.0, 400.0]
+        demands = [q.submit(s, [src, privates[i]])
+                   for i, s in enumerate(sizes)]
+        for d in demands:
+            d.done.defused()
+        sim.run(until=2.0)
+        assert demands[0]._group is not None
+        q.abort(demands[0], RuntimeError("preempted"))
+        assert q.uniform_leaves == 1
+        assert q.rebalances == 1  # formation pass only; the leave was O(log n)
+        assert demands[1]._group is not None
+        assert demands[1]._group.share() == pytest.approx(100.0 / 3)
+        # At t=2 each had drained 50 B; survivors now run the cascade
+        # 150/33.3 -> 6.5, then 100/50 -> 8.5, then 100/100 -> 9.5.
+        done_at = []
+        for d in demands[1:]:
+            sim.run(until=d.done)
+            done_at.append(sim.now)
+        assert done_at == pytest.approx([6.5, 8.5, 9.5])
+
+    def test_foreign_flow_coexists_with_pinned_group(self):
+        """A foreign demand sharing a span constraint is rated into the
+        residual capacity; the group neither dissolves nor re-rates."""
+        sim = Simulator()
+        q = FairQueue(sim)
+        src = q.constraint("src", 100.0)
+        site = q.constraint("site", 250.0)
+        privates = [q.constraint(f"p{i}", 100.0) for i in range(4)]
+        members = [q.submit(1000.0, [src, site, privates[i]])
+                   for i in range(4)]
+        sim.run(until=1.0)
+        group = members[0]._group
+        assert group is not None
+        fp = q.constraint("fp", 300.0)
+        foreign = q.submit(900.0, [site, fp])
+        sim.run(until=1.0)
+        # The group survived with the members clock-pinned at 25 B/s;
+        # the foreign demand got the site residual 250 - 4*25 = 150.
+        assert members[0]._group is group
+        assert q.uniform_pins == 1
+        assert foreign.rate == pytest.approx(150.0)
+        sim.run(until=foreign.done)
+        assert sim.now == pytest.approx(1.0 + 900.0 / 150.0)
+        for m in members:
+            sim.run(until=m.done)
+        assert sim.now == pytest.approx(40.0)  # 4000 B / 100 B/s, unperturbed
+
+    def test_arrival_joins_contested_group(self):
+        """try_join admits a newcomer while foreign traffic shares the
+        span, provided members and the foreign allocation still fit."""
+        sim = Simulator()
+        q = FairQueue(sim)
+        src = q.constraint("src", 100.0)
+        site = q.constraint("site", 250.0)
+        privates = [q.constraint(f"p{i}", 100.0) for i in range(4)]
+        members = [q.submit(1000.0, [src, site, privates[i]])
+                   for i in range(4)]
+        sim.run(until=1.0)
+        group = members[0]._group
+        fp = q.constraint("fp", 300.0)
+        foreign = q.submit(900.0, [site, fp])
+        sim.run(until=2.0)
+        joins_before = q.uniform_joins
+        p4 = q.constraint("p4", 100.0)
+        late = q.submit(1000.0, [src, site, p4])
+        sim.run(until=2.0)
+        assert late._group is group
+        assert q.uniform_joins == joins_before + 1
+        assert group.share() == pytest.approx(20.0)
+        # The foreign flow still fits in the residual (250 - 5*20 = 150).
+        assert foreign.rate == pytest.approx(150.0)
+
+    def test_foreign_squeeze_dissolves_group(self):
+        """When joint max-min would push members below the clock share,
+        the pin is not exact: the pass dissolves the group and the whole
+        component is filled generically."""
+        sim = Simulator()
+        q = FairQueue(sim)
+        src = q.constraint("src", 100.0)
+        site = q.constraint("site", 120.0)
+        privates = [q.constraint(f"p{i}", 100.0) for i in range(4)]
+        members = [q.submit(1000.0, [src, site, privates[i]])
+                   for i in range(4)]
+        sim.run(until=1.0)
+        group = members[0]._group
+        assert group is not None
+        fp = q.constraint("fp", 300.0)
+        foreign = q.submit(900.0, [site, fp])
+        sim.run(until=1.0)
+        # site fair share 120/5 = 24 < the clock share 25: everyone on
+        # the site link equalizes at 24 B/s.  The src-bottlenecked group
+        # had to go (the refill may then group everyone on the site).
+        assert members[0]._group is not group
+        for d in members + [foreign]:
+            assert d.rate == pytest.approx(24.0)
 
 
 class TestLifecycle:

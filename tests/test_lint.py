@@ -1,0 +1,20 @@
+"""Fast-tier wiring for the determinism lint (tools/lint_no_set_iteration).
+
+The PR 2 invariant — no scheduling/placement/replication decision may
+depend on set iteration order — is enforced mechanically: any new set
+iteration in ``sim/``, ``net/``, ``mapreduce/``, or ``hdfs/`` fails this
+test unless the line carries an audited ``# set-order-ok`` waiver.
+"""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from lint_no_set_iteration import lint_tree  # noqa: E402
+
+
+def test_no_set_iteration_in_decision_modules():
+    messages = lint_tree(REPO / "src")
+    assert not messages, "\n".join(messages)

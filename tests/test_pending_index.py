@@ -1,0 +1,53 @@
+"""Unit tests for the cluster pending index (the PR 6 scheduler layer)."""
+
+import pytest
+
+from repro.hdfs.namenode import HdfsError
+from repro.mapreduce.pending_index import JobLocalityIndex
+
+from helpers import MRHarness
+
+
+class TestLocalityBuildErrors:
+    """``namenode.locate`` failures during index construction.
+
+    Only :class:`HdfsError` (the block genuinely has no locations any
+    more) is an expected condition — the map degrades to no locality
+    preference and the event is counted.  Anything else is a bug in the
+    metadata path and must propagate, not be silently eaten.
+    """
+
+    def test_hdfs_error_degrades_and_counts(self):
+        h = MRHarness(n_nodes=3, n_sites=2)
+        job = h.submit("lj", num_maps=2, num_reduces=0)
+
+        def all_replicas_lost(block_id):
+            raise HdfsError(f"no live replicas of {block_id}")
+
+        h.namenode.locate = all_replicas_lost
+        idx = JobLocalityIndex(job, h.jobtracker)
+        assert idx.host_maps == {}
+        assert idx.site_maps == {}
+        assert idx.locations == {}
+        assert h.jobtracker.counters.get(
+            "map_input_blocks_unlocatable") == 2
+
+    def test_unexpected_error_propagates(self):
+        h = MRHarness(n_nodes=3, n_sites=2)
+        job = h.submit("lj", num_maps=2, num_reduces=0)
+
+        def metadata_bug(block_id):
+            raise RuntimeError("bug, not an HDFS condition")
+
+        h.namenode.locate = metadata_bug
+        with pytest.raises(RuntimeError):
+            JobLocalityIndex(job, h.jobtracker)
+        assert h.jobtracker.counters.get(
+            "map_input_blocks_unlocatable") == 0
+
+    def test_healthy_build_has_locations(self):
+        h = MRHarness(n_nodes=3, n_sites=2)
+        job = h.submit("lj", num_maps=2, num_reduces=0)
+        idx = JobLocalityIndex(job, h.jobtracker)
+        assert len(idx.locations) == 2
+        assert idx.host_maps

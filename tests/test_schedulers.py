@@ -129,3 +129,39 @@ class TestLocalityComparison:
         fifo = run(FifoScheduler)
         delay = run(DelayScheduler)
         assert delay >= fifo
+
+
+class TestMatchmakingMarkerReset:
+    """Regression: locality markers must track *submissions*, not
+    ``len(jobs)``.
+
+    The old reset keyed off the active-job count, so a job finishing
+    cleared every marker (count changed — nodes lost their earned right
+    to a non-local task), while a submit landing at the same instant as
+    a finish cleared none (count unchanged — the fresh job never got its
+    locality grace round).  Both tests fail against that code.
+    """
+
+    def _harness(self):
+        h = harness_with(MatchmakingScheduler, n_nodes=2, n_sites=2)
+        return h, h.jobtracker.scheduler
+
+    def test_job_finish_keeps_markers(self):
+        h, sched = self._harness()
+        j1 = h.submit("m1", num_maps=1, num_reduces=0)
+        h.submit("m2", num_maps=1, num_reduces=0)
+        sched._maybe_reset_markers()  # sync to the two submissions
+        sched._marker["node000.site0.edu"] = True
+        h.jobtracker._fail_job(j1, "test: job departs, no new submission")
+        sched._maybe_reset_markers()  # len(jobs) changed; submit seq did not
+        assert sched._marker == {"node000.site0.edu": True}
+
+    def test_submit_coinciding_with_finish_clears_markers(self):
+        h, sched = self._harness()
+        j1 = h.submit("m1", num_maps=1, num_reduces=0)
+        sched._maybe_reset_markers()
+        sched._marker["node000.site0.edu"] = True
+        h.jobtracker._fail_job(j1, "test: departs as another job arrives")
+        h.submit("m2", num_maps=1, num_reduces=0)  # len(jobs) is back to 1
+        sched._maybe_reset_markers()
+        assert sched._marker == {}
