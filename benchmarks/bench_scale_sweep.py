@@ -50,6 +50,7 @@ if __package__ in (None, ""):
 
 from repro.experiments import calibration
 from repro.scenarios import ScenarioRunner, registry
+from repro.scenarios.parallel import run_specs_parallel
 
 DEFAULT_NODE_COUNTS = (100, 250, 500, 1000)
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_scale.json"
@@ -120,6 +121,13 @@ def run_point(n_nodes: int, scale: float, seed: int,
         "uniform_completions": result.channel["uniform_completions"],
         "uniform_joins": result.channel["uniform_joins"],
         "cross_partition_passes": result.channel["cross_partition_passes"],
+        "arrival_fast_paths": result.channel["arrival_fast_paths"],
+        "departure_fast_paths": result.channel["departure_fast_paths"],
+        "completion_fast_paths": result.channel["completion_fast_paths"],
+        "uniform_fast_accepts": result.channel["uniform_fast_accepts"],
+        # Power-of-two histogram of filling-pass component sizes (bucket i
+        # counts passes over [2^(i-1), 2^i) demands; trailing zeros trimmed).
+        "pass_size_hist": result.channel["pass_size_hist"],
         "starvation_rescues": result.channel["starvation_rescues"],
         "workload_response_seconds": round(result.makespan_seconds, 1),
         "failed_jobs": result.failed_jobs,
@@ -131,19 +139,32 @@ def run_point(n_nodes: int, scale: float, seed: int,
 
 
 def run_scenario_section(nodes: int, scale: float, seed: int,
-                         skip=()) -> dict:
-    """Every registry scenario once, at one small size: full results."""
-    section = {}
-    for name in registry.names():
-        if name in skip:
-            continue
-        print(f"[scale-sweep] scenario {name!r} @ {nodes} nodes, "
-              f"scale {scale} ...", flush=True)
-        spec = registry.build(name, n_nodes=nodes, scale=scale, seed=seed)
-        runner = ScenarioRunner(spec)
-        result = runner.run()
-        print(f"[scale-sweep]   {result.summary()}", flush=True)
-        section[name] = result.to_dict()
+                         skip=(), workers: int = 1) -> dict:
+    """Every registry scenario once, at one small size: full results.
+
+    ``workers > 1`` fans the scenarios out over a process pool (the
+    simulation payloads are identical to a serial run; only wall-clock
+    fields differ)."""
+    names = [n for n in registry.names() if n not in skip]
+    specs = [registry.build(n, n_nodes=nodes, scale=scale, seed=seed)
+             for n in names]
+    if workers > 1:
+        print(f"[scale-sweep] {len(names)} scenarios @ {nodes} nodes, "
+              f"scale {scale}, {min(workers, len(names))} workers ...",
+              flush=True)
+        records = run_specs_parallel(specs, workers)
+    else:
+        records = []
+        for name, spec in zip(names, specs):
+            print(f"[scale-sweep] scenario {name!r} @ {nodes} nodes, "
+                  f"scale {scale} ...", flush=True)
+            records.append(ScenarioRunner(spec).run().to_dict())
+    section = dict(zip(names, records))
+    for name, rec in section.items():
+        print(f"[scale-sweep]   {name}[{rec['nodes']}]: "
+              f"makespan={rec['makespan_seconds']:.0f}s "
+              f"wall={rec['wall_seconds']:.2f}s events={rec['events']} "
+              f"failed={rec['failed_jobs']}", flush=True)
     return section
 
 
@@ -168,6 +189,9 @@ def main(argv=None) -> int:
                              "the fast test tier")
     parser.add_argument("--no-frontier", action="store_true",
                         help="skip the 10k-node frontier point")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="worker processes for the every-scenario "
+                             "coverage section (default: serial)")
     parser.add_argument("--smoke-100k", action="store_true",
                         help="run ONLY the 100k-node control-plane survival "
                              "check (writes BENCH_scale_100k.json unless "
@@ -242,14 +266,15 @@ def main(argv=None) -> int:
     scenario_section = {}
     if not args.no_scenario_section:
         scenario_section = run_scenario_section(section_nodes, section_scale,
-                                                args.seed, skip=section_skip)
+                                                args.seed, skip=section_skip,
+                                                workers=args.parallel)
 
     report = {
         "benchmark": "bench_scale_sweep",
         "description": "fig4-style Facebook workload on HOG at increasing "
-                       "node counts (unified max-min channel core: joint "
-                       "disk+network demands, per-bottleneck group timers, "
-                       "slack-link decoupling), plus one run of every "
+                       "node counts (unified max-min channel core with "
+                       "arrival/departure/completion fast paths and "
+                       "pass-size telemetry), plus one run of every "
                        "registry scenario",
         "python": sys.version.split()[0],
         "points": points,

@@ -53,6 +53,14 @@ class HdfsConfig:
     #: Fraction of disk the datanode refuses to fill past (headroom for
     #: non-HDFS usage, mirrors ``dfs.datanode.du.reserved``).
     disk_reserve_fraction: float = 0.05
+    #: Period of the datanode's full block report to the namenode
+    #: (Hadoop ``dfs.blockreport.intervalMsec``, default one hour).
+    #: ``None`` disables periodic reports (registration-only).
+    block_report_interval: float = 3600.0  # type: ignore[assignment]
+    #: Delay from registration to the *first* periodic block report
+    #: (Hadoop staggers initial reports so a mass restart does not
+    #: stampede the namenode).
+    block_report_initial_delay: float = 600.0
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent settings."""
@@ -70,6 +78,11 @@ class HdfsConfig:
             raise ValueError("disk_reserve_fraction must be in [0, 1)")
         if self.disk_check_interval is not None and self.disk_check_interval <= 0:
             raise ValueError("disk_check_interval must be positive or None")
+        if self.block_report_interval is not None:
+            if self.block_report_interval <= 0:
+                raise ValueError("block_report_interval must be positive or None")
+            if self.block_report_initial_delay < 0:
+                raise ValueError("block_report_initial_delay cannot be negative")
 
 
 def stock_hadoop_config(**overrides) -> HdfsConfig:

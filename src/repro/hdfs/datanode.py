@@ -116,10 +116,28 @@ class Datanode:
 
     # -- daemon loops -------------------------------------------------------------
     def _heartbeat_loop(self):
-        """Periodic status report; zombies keep reporting (the bug)."""
+        """Periodic status report; zombies keep reporting (the bug).
+
+        The loop also carries the hourly full block report (Hadoop's
+        ``dfs.blockreport.intervalMsec``), piggybacked on the heartbeat
+        cadence so it costs no extra simulator events: the first report
+        goes ``block_report_initial_delay`` after startup, then every
+        ``block_report_interval``.  A zombie's report is empty — and
+        since the namenode's report processing is additive-only, that
+        does NOT clear its believed replicas, preserving the §IV-D1
+        zombie semantics (the namenode keeps crediting a zombie's
+        blocks until the disk self-check shuts the daemon down).
+        """
+        interval = self.config.block_report_interval
+        next_report = (None if interval is None
+                       else self.sim.now + self.config.block_report_initial_delay)
         try:
             while self.is_alive:
                 self.namenode.heartbeat(self)
+                if next_report is not None and self.sim.now >= next_report:
+                    self.namenode.process_block_report(
+                        self.host, self.block_report())
+                    next_report = self.sim.now + interval
                 # Ask per beat: the period adapts to cluster size.
                 yield self.sim.timeout(self.namenode.heartbeat_interval())
         except Interrupt:

@@ -211,7 +211,8 @@ class Namenode:
 
     # -- block map maintenance --------------------------------------------------------
     def process_block_report(self, host: str, block_ids) -> None:
-        """Aggregate (re-)registration block report from ``host``.
+        """Aggregate block report from ``host`` — sent at (re-)registration
+        and then periodically (``HdfsConfig.block_report_interval``).
 
         One set-difference against the believed replica map: only replicas
         the namenode does not already credit to the host go through the
@@ -221,9 +222,17 @@ class Namenode:
         self.counters.incr("block_reports")
         believed = self._host_blocks.setdefault(host, {})
         blocks = self._blocks
-        new = [bid for bid in block_ids
-               if bid not in believed and bid in blocks]
-        self.counters.incr("block_report_blocks", len(new))
+        carried = 0
+        new = []
+        for bid in block_ids:
+            carried += 1
+            if bid not in believed and bid in blocks:
+                new.append(bid)
+        # ``block_report_blocks`` counts replicas *carried* by reports (the
+        # aggregate scan volume), not just the previously-unknown ones —
+        # registration reports from empty nodes contribute nothing, but
+        # the periodic reports from loaded nodes dominate it.
+        self.counters.incr("block_report_blocks", carried)
         for bid in new:
             self.block_received(bid, host)
 

@@ -14,8 +14,11 @@ Invariants (all maintained by :meth:`ClusterPendingIndex._on_transition`):
   deterministic order (build order; requeued tasks re-append at the end).
 - ``host_jobs[h]`` / ``site_jobs[s]`` contain exactly the registered jobs
   whose corresponding per-job list is non-empty.
-- ``map_jobs`` / ``reduce_jobs`` contain exactly the jobs with ≥ 1 pending
-  map / reduce task.
+- ``map_jobs`` contains exactly the jobs with ≥ 1 pending map task;
+  ``reduce_jobs`` the jobs with ≥ 1 pending reduce *and* the reduce
+  slowstart threshold met, ``reduce_wait`` the rest (visiting a
+  pre-slowstart job every heartbeat is pure waste — the decision body
+  rejects it unconditionally).
 - every job with a running task of type T is *tracked* by the type-T
   :class:`_SpecArming`: either armed (a speculation probe might succeed
   now) or snoozed behind its ``spec_gate`` in a lazy heap.
@@ -94,11 +97,14 @@ class _SpecArming:
     so skipping it cannot change the assignment stream.
     """
 
-    __slots__ = ("armed", "_heap", "_gates")
+    __slots__ = ("armed", "version", "_heap", "_gates")
 
     def __init__(self) -> None:
         #: job_id → Job whose next probe might succeed.
         self.armed: Dict[int, Job] = {}
+        #: Bumped whenever the armed set changes — the candidate-list
+        #: caches key on it, so reads between changes cost O(1).
+        self.version = 0
         #: (gate, job_id, Job) lazy min-heap of snoozed jobs.
         self._heap: List[Tuple[float, int, Job]] = []
         #: job_id → gate of its one *live* heap entry (stale-entry filter).
@@ -109,22 +115,34 @@ class _SpecArming:
         jid = job.job_id
         if jid not in self.armed and jid not in self._gates:
             self.armed[jid] = job
+            self.version += 1
 
     def arm(self, job: Job) -> None:
         """Force re-evaluation (a completion reset the job's gate)."""
-        self._gates.pop(job.job_id, None)
-        self.armed[job.job_id] = job
+        jid = job.job_id
+        self._gates.pop(jid, None)
+        if jid not in self.armed:
+            self.armed[jid] = job
+            self.version += 1
 
     def snooze(self, job: Job, gate: float) -> None:
-        """A probe proved nothing qualifies before ``gate``."""
+        """A probe proved nothing qualifies before ``gate``.
+
+        Re-snoozing with an unchanged gate is a no-op: a job visited via
+        the pending path can report the same closed gate every heartbeat,
+        and pushing a duplicate heap entry each time is pure waste."""
         jid = job.job_id
-        self.armed.pop(jid, None)
-        self._gates[jid] = gate
-        heappush(self._heap, (gate, jid, job))
+        if jid in self.armed:
+            del self.armed[jid]
+            self.version += 1
+        if self._gates.get(jid) != gate:
+            self._gates[jid] = gate
+            heappush(self._heap, (gate, jid, job))
 
     def drop(self, job: Job) -> None:
         """Stop tracking (no running tasks left, or job finished)."""
-        self.armed.pop(job.job_id, None)
+        if self.armed.pop(job.job_id, None) is not None:
+            self.version += 1
         self._gates.pop(job.job_id, None)
 
     def pull(self, now: float) -> None:
@@ -135,6 +153,7 @@ class _SpecArming:
             if self._gates.get(jid) == gate:  # live entry, not stale
                 del self._gates[jid]
                 self.armed[jid] = job
+                self.version += 1
 
 
 class ClusterPendingIndex:
@@ -156,12 +175,27 @@ class ClusterPendingIndex:
         self.site_jobs: Dict[str, Dict[int, Job]] = {}
         #: job_id → Job with ≥1 pending map.
         self.map_jobs: Dict[int, Job] = {}
-        #: job_id → Job with ≥1 pending reduce.
+        #: job_id → Job with ≥1 pending reduce *and* slowstart met.  Jobs
+        #: whose reduces exist but cannot launch yet (not enough maps
+        #: done) wait in ``reduce_wait`` — the reduce pick would reject
+        #: them anyway, so visiting them every heartbeat is pure waste.
+        #: Reclassified on map-completion deltas (both directions: map
+        #: re-runs after node loss can *lower* completed_maps).
         self.reduce_jobs: Dict[int, Job] = {}
+        #: job_id → Job with ≥1 pending reduce, slowstart not yet met.
+        self.reduce_wait: Dict[int, Job] = {}
         self.spec = {TaskType.MAP: _SpecArming(), TaskType.REDUCE: _SpecArming()}
         self._jobs: Dict[int, Job] = {}
         self._indexes: Dict[int, JobLocalityIndex] = {}
         self._synced_version = -1
+        #: Bumped on every ``map_jobs`` / ``reduce_jobs`` mutation; the
+        #: candidate-list caches below key on (pending, armed) versions so
+        #: the per-pick sorted merge happens only when something changed —
+        #: picks vastly outnumber membership changes.
+        self._map_version = 0
+        self._reduce_version = 0
+        self._map_cands: Tuple[Tuple[int, int], List[Job]] = ((-1, -1), [])
+        self._reduce_cands: Tuple[Tuple[int, int], List[Job]] = ((-1, -1), [])
         #: Index maintenance operations since construction (perf counter:
         #: total work the event-driven path does *instead of* rescanning).
         self.updates = 0
@@ -197,8 +231,9 @@ class ClusterPendingIndex:
             self.site_jobs.setdefault(site, {})[jid] = job
         if job.pending_map_tasks:
             self.map_jobs[jid] = job
+            self._map_version += 1
         if job.pending_reduce_tasks:
-            self.reduce_jobs[jid] = job
+            self._admit_reduces(job)
         if job.running_map_tasks:
             self.spec[TaskType.MAP].track(job)
         if job.running_reduce_tasks:
@@ -224,6 +259,9 @@ class ClusterPendingIndex:
                     del self.site_jobs[site]
         self.map_jobs.pop(jid, None)
         self.reduce_jobs.pop(jid, None)
+        self.reduce_wait.pop(jid, None)
+        self._map_version += 1
+        self._reduce_version += 1
         self.spec[TaskType.MAP].drop(job)
         self.spec[TaskType.REDUCE].drop(job)
         self.updates += 1
@@ -251,12 +289,19 @@ class ClusterPendingIndex:
                     arming.arm(job)
             if old == TaskStatus.RUNNING and not job.running_map_tasks:
                 arming.drop(job)
+            if (new == TaskStatus.COMPLETED or old == TaskStatus.COMPLETED) \
+                    and job.pending_reduce_tasks:
+                # The completed-map count moved: the job may have crossed
+                # the reduce-slowstart threshold (either direction).
+                self._admit_reduces(job)
         else:
             jid = job.job_id
             if old == TaskStatus.PENDING and not job.pending_reduce_tasks:
                 self.reduce_jobs.pop(jid, None)
+                self.reduce_wait.pop(jid, None)
+                self._reduce_version += 1
             if new == TaskStatus.PENDING:
-                self.reduce_jobs[jid] = job
+                self._admit_reduces(job)
             elif new == TaskStatus.RUNNING:
                 arming.track(job)
             elif new == TaskStatus.COMPLETED:
@@ -264,6 +309,27 @@ class ClusterPendingIndex:
                     arming.arm(job)
             if old == TaskStatus.RUNNING and not job.running_reduce_tasks:
                 arming.drop(job)
+
+    def _admit_reduces(self, job: Job) -> None:
+        """Bucket a job with pending reduces by slowstart readiness.
+
+        ``reduce_jobs`` holds exactly the jobs a reduce pick could serve;
+        the rest wait in ``reduce_wait`` until enough maps complete.  The
+        decision body re-checks ``reduces_schedulable`` itself, so the
+        split is a pure visit filter — skipping a waiting job cannot
+        change the assignment stream."""
+        jid = job.job_id
+        if job.reduces_schedulable(self.jobtracker.config.reduce_slowstart):
+            if jid not in self.reduce_jobs:
+                self.reduce_wait.pop(jid, None)
+                self.reduce_jobs[jid] = job
+                self._reduce_version += 1
+        elif jid in self.reduce_jobs:
+            del self.reduce_jobs[jid]
+            self.reduce_wait[jid] = job
+            self._reduce_version += 1
+        else:
+            self.reduce_wait[jid] = job
 
     def _map_left_pending(self, job: Job, task: Task) -> None:
         jid = job.job_id
@@ -296,6 +362,7 @@ class ClusterPendingIndex:
             self.updates += len(hosts) + len(sites)
         if not job.pending_map_tasks:
             self.map_jobs.pop(jid, None)
+            self._map_version += 1
 
     def _map_entered_pending(self, job: Job, task: Task) -> None:
         jid = job.job_id
@@ -314,7 +381,9 @@ class ClusterPendingIndex:
                     self.site_jobs.setdefault(site, {})[jid] = job
                 tasks[task] = None
             self.updates += len(hosts) + len(sites)
-        self.map_jobs[jid] = job
+        if jid not in self.map_jobs:
+            self.map_jobs[jid] = job
+            self._map_version += 1
 
     # -- heartbeat-path queries ----------------------------------------------
     def pull_spec(self, now: float) -> None:
@@ -324,21 +393,37 @@ class ClusterPendingIndex:
 
     def map_candidates(self, speculative: bool) -> List[Job]:
         """Jobs worth visiting for a map pick, ascending job id: every job
-        with a pending map, plus (with speculation on) every armed job."""
-        pending = self.map_jobs
-        armed = self.spec[TaskType.MAP].armed if speculative else ()
-        if not armed:
-            if not pending:
-                return _EMPTY
-            return [pending[jid] for jid in sorted(pending)]
-        merged = dict(pending)
-        merged.update(armed)
-        return [merged[jid] for jid in sorted(merged)]
+        with a pending map, plus (with speculation on) every armed job.
+
+        The sorted merge is cached on (pending, armed) version counters:
+        picks run several times per heartbeat while membership changes
+        only on task transitions, so the common call is two int compares."""
+        spec = self.spec[TaskType.MAP]
+        key = (self._map_version, spec.version if speculative else -1)
+        cached = self._map_cands
+        if cached[0] == key:
+            return cached[1]
+        out = self._merge_candidates(self.map_jobs,
+                                     spec.armed if speculative else ())
+        self._map_cands = (key, out)
+        return out
 
     def reduce_candidates(self, speculative: bool) -> List[Job]:
-        """Jobs worth visiting for a reduce pick, ascending job id."""
-        pending = self.reduce_jobs
-        armed = self.spec[TaskType.REDUCE].armed if speculative else ()
+        """Jobs worth visiting for a reduce pick, ascending job id:
+        every job with a pending reduce *and* slowstart met, plus (with
+        speculation on) every armed job.  Cached like map_candidates."""
+        spec = self.spec[TaskType.REDUCE]
+        key = (self._reduce_version, spec.version if speculative else -1)
+        cached = self._reduce_cands
+        if cached[0] == key:
+            return cached[1]
+        out = self._merge_candidates(self.reduce_jobs,
+                                     spec.armed if speculative else ())
+        self._reduce_cands = (key, out)
+        return out
+
+    @staticmethod
+    def _merge_candidates(pending: Dict[int, Job], armed) -> List[Job]:
         if not armed:
             if not pending:
                 return _EMPTY

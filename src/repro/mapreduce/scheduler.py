@@ -221,6 +221,22 @@ class FifoScheduler(TaskScheduler):
         the job's gate into the future snoozes it in the cluster index, so
         the index path stops visiting it until the gate passes (or a
         completion re-arms it)."""
+        # Gate-still-closed is the overwhelmingly common probe outcome
+        # (completions re-arm jobs constantly): answer it with one float
+        # compare instead of entering the candidate scan.
+        gate = job.spec_gate[task_type]
+        if self.jobtracker.sim.now < gate:
+            self.index.spec[task_type].snooze(job, gate)
+            return None
+        if job.average_completed_duration(task_type) is None:
+            # No completed task of this type yet ⇒ no slowness baseline ⇒
+            # no probe can succeed until the first completion — which
+            # re-arms the job through the transition hooks (arm on
+            # completion with survivors, drop+track otherwise).  Snoozing
+            # until then is exact and stops every tracker from probing
+            # the job each heartbeat while its first wave runs.
+            self.index.spec[task_type].snooze(job, float("inf"))
+            return None
         cand = self._speculation_candidate(job, task_type, tracker,
                                            chosen_tasks)
         if cand is None:

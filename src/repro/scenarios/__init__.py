@@ -9,11 +9,16 @@ with one unified runner.
 - :mod:`repro.scenarios.runner` — :class:`ScenarioRunner` →
   :class:`ScenarioResult` (makespan, per-phase wall/sim time,
   channel-core stats, locality and preemption counters)
+- :mod:`repro.scenarios.parallel` — multiprocessing fan-out over
+  serialized specs (``run_specs_parallel``), simulation-identical to
+  serial runs
 - :mod:`repro.scenarios.calibration` — shared calibrated constants
 - ``python -m repro.scenarios.run <name>`` — the CLI
+  (``--parallel N``, ``--profile``)
 """
 
 from . import calibration, registry
+from .parallel import run_spec_json, run_specs_parallel
 from .runner import (
     PhaseStat,
     ScenarioResult,
@@ -35,4 +40,6 @@ __all__ = [
     "PhaseStat",
     "drive_workload",
     "collect_result",
+    "run_spec_json",
+    "run_specs_parallel",
 ]

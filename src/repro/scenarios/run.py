@@ -12,18 +12,24 @@ Runs any registered scenario at any node count and prints (or writes) its
 structured :class:`~repro.scenarios.runner.ScenarioResult` as JSON.
 ``--smoke`` shrinks every scenario to a couple of wall-seconds (a few
 dozen nodes, a tiny workload slice) — the fast test tier drives exactly
-this mode so the registry cannot rot.
+this mode so the registry cannot rot.  ``--parallel N`` fans a multi-
+scenario run out over N worker processes (results keep registry order
+and are simulation-identical to a serial run); ``--profile`` wraps a
+serial run in cProfile and prints the top-25 cumulative entries.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
+import pstats
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from . import registry
+from .parallel import run_specs_parallel
 from .runner import ScenarioRunner
 
 #: --smoke sizing: small enough for CI seconds, large enough that every
@@ -33,9 +39,13 @@ SMOKE_NODES = 24
 SMOKE_SCALE = 0.04
 
 
-def _run_one(name: str, args) -> dict:
-    spec = registry.build(name, n_nodes=args.nodes, scale=args.scale,
+def _build_spec(name: str, args):
+    return registry.build(name, n_nodes=args.nodes, scale=args.scale,
                           seed=args.seed)
+
+
+def _run_one(name: str, args) -> dict:
+    spec = _build_spec(name, args)
     if args.show_spec:
         print(spec.to_json())
         return {}
@@ -68,9 +78,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help=f"tiny run ({SMOKE_NODES} nodes, scale "
                              f"{SMOKE_SCALE}) for the fast test tier")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="fan a multi-scenario run out over N worker "
+                             "processes (default: serial)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile a serial run with cProfile and print "
+                             "the top-25 cumulative entries to stderr")
     parser.add_argument("--output", type=Path, default=None,
                         help="write the result JSON here instead of stdout")
     args = parser.parse_args(argv)
+
+    if args.parallel < 1:
+        parser.error("--parallel needs a positive worker count")
+    if args.profile and args.parallel > 1:
+        parser.error("--profile requires a serial run (drop --parallel)")
 
     if args.list:
         for name, desc in registry.describe().items():
@@ -88,7 +109,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"unknown scenario(s): {', '.join(unknown)}; "
                      f"try --list")
 
-    records = [_run_one(name, args) for name in targets]
+    if args.parallel > 1 and not args.show_spec and len(targets) > 1:
+        specs = [_build_spec(name, args) for name in targets]
+        print(f"[scenario] running {len(specs)} scenarios across "
+              f"{min(args.parallel, len(specs))} worker processes ...",
+              file=sys.stderr, flush=True)
+        records = run_specs_parallel(specs, args.parallel)
+        for rec in records:
+            print(f"[scenario]   {rec['scenario']}[{rec['nodes']}]: "
+                  f"makespan={rec['makespan_seconds']:.0f}s "
+                  f"wall={rec['wall_seconds']:.2f}s events={rec['events']} "
+                  f"failed={rec['failed_jobs']}",
+                  file=sys.stderr, flush=True)
+    elif args.profile and not args.show_spec:
+        prof = cProfile.Profile()
+        prof.enable()
+        records = [_run_one(name, args) for name in targets]
+        prof.disable()
+        stats = pstats.Stats(prof, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+    else:
+        records = [_run_one(name, args) for name in targets]
     if args.show_spec:
         return 0
     payload = records[0] if len(records) == 1 else records

@@ -52,7 +52,9 @@ __all__ = ["PhaseStat", "ScenarioResult", "ScenarioRunner",
 #: attributes and the scale-sweep benchmark's JSON fields).
 CHANNEL_STATS = ("rebalances", "uniform_groups", "uniform_completions",
                  "uniform_leaves", "uniform_joins", "uniform_pins",
-                 "cross_partition_passes",
+                 "cross_partition_passes", "arrival_fast_paths",
+                 "departure_fast_paths", "completion_fast_paths",
+                 "uniform_fast_accepts",
                  "starvation_rescues", "peak_demands")
 
 
@@ -359,6 +361,13 @@ class ScenarioRunner:
         channel = hog.fabric.channel
         stats = {name: getattr(channel, name) for name in CHANNEL_STATS}
         stats["peak_flows"] = hog.fabric.peak_flows
+        # Histogram of filling-pass component sizes (power-of-two buckets:
+        # bucket i counts passes touching [2^(i-1), 2^i) demands).  Trailing
+        # zero buckets are trimmed so small runs stay compact.
+        hist = list(channel.pass_size_hist)
+        while hist and hist[-1] == 0:
+            hist.pop()
+        stats["pass_size_hist"] = hist
         preempt = {k: v for k, v in hog.factory.counters.as_dict().items()
                    if k.startswith(("glideins", "preemption"))}
         if driver is not None:

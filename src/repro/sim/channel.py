@@ -83,7 +83,8 @@ class Constraint:
 
     __slots__ = ("name", "capacity", "partition", "demands", "group",
                  "_timer_at", "_timer_version", "_visit", "_residual",
-                 "_ucount", "_bound_sum", "_unbounded", "_slack_below")
+                 "_ucount", "_bound_sum", "_unbounded", "_slack_below",
+                 "_wit_counts", "_tighter")
 
     def __init__(self, name: str, capacity: float,
                  partition: Optional[str] = None) -> None:
@@ -108,14 +109,27 @@ class Constraint:
         #: Per-pass progressive-filling scratch (valid only mid-pass).
         self._residual = 0.0
         self._ucount = 0
-        #: Σ over live demands of each demand's tightest *other* capacity
-        #: — an upper bound on the traffic this constraint can ever see.
-        #: While it stays (strictly, with margin) below `capacity` the
-        #: constraint is provably slack: it cannot bind in any max-min
-        #: allocation, so component walks skip it entirely.  This is what
-        #: keeps an under-subscribed WAN leg from chaining two sites'
-        #: components together.
+        #: Witness-grouped upper bound on the traffic this constraint can
+        #: ever see.  Each demand's *witness* here is its tightest other
+        #: constraint; all demands sharing a witness w also share w's
+        #: capacity, so they jointly contribute min(cap_w, Σ bounds) =
+        #: cap_w — the bound sums *distinct witness capacities*, not
+        #: per-demand bounds.  While it stays (strictly, with margin)
+        #: below `capacity` the constraint is provably slack: it cannot
+        #: bind in any max-min allocation, so component walks skip it
+        #: entirely.  This is what keeps an under-subscribed WAN leg from
+        #: chaining two sites' components together — and, grouped by
+        #: witness, it stays slack even when many flows fan out of a few
+        #: tight source disks.  Maintained O(constraints-of-demand) per
+        #: add/remove (`_wit_counts` holds the live count per witness).
         self._bound_sum = 0.0
+        self._wit_counts: Dict["Constraint", int] = {}
+        #: Live demands with a side constraint *strictly* tighter than
+        #: this one (witness capacity < our capacity).  While zero, a
+        #: single-bottleneck pass here is uniform by construction: every
+        #: side constraint c has cap_c >= capacity >= k_c * share, so the
+        #: uniform-group eligibility holds without the per-member scan.
+        self._tighter = 0
         #: Live demands whose bound through here is unbounded (their only
         #: constraint) — any such demand disables the slack shortcut.
         self._unbounded = 0
@@ -139,7 +153,7 @@ class Demand:
 
     __slots__ = ("size", "remaining", "rate", "constraints", "done",
                  "_last_update", "_fill_mark", "_group", "_group_key",
-                 "_retry_version", "_visit", "_min_other", "on_exit")
+                 "_retry_version", "_visit", "_witness", "on_exit")
 
     def __init__(self, size: float, constraints: Sequence[Constraint],
                  done: Event, now: float) -> None:
@@ -147,17 +161,21 @@ class Demand:
         self.remaining = float(size)
         self.rate = 0.0
         self.constraints: Tuple[Constraint, ...] = tuple(constraints)
-        # Per-constraint rate upper bound from the *other* constraints
-        # (inf for a sole constraint) — feeds the slack shortcut.
-        caps = [c.capacity for c in self.constraints]
-        if len(caps) == 1:
-            self._min_other = (float("inf"),)
+        # Per-constraint witness: the tightest *other* constraint (None
+        # for a sole constraint) — its capacity bounds the rate this
+        # demand can ever push through constraint i, and demands sharing
+        # a witness share that cap (feeds the grouped slack shortcut).
+        cs = self.constraints
+        if len(cs) == 1:
+            self._witness: Tuple[Optional[Constraint], ...] = (None,)
         else:
+            caps = [c.capacity for c in cs]
             idx = caps.index(min(caps))
-            second = min(caps[:idx] + caps[idx + 1:])
-            self._min_other = tuple(
-                second if i == idx else caps[idx]
-                for i in range(len(caps)))
+            second_idx = min((i for i in range(len(cs)) if i != idx),
+                             key=lambda i: caps[i])
+            self._witness = tuple(
+                cs[second_idx] if i == idx else cs[idx]
+                for i in range(len(cs)))
         self.done = done
         self._last_update = now
         #: Progressive-filling pass id this demand was last frozen in.
@@ -615,6 +633,23 @@ class FairQueue:
         self.uniform_pins = 0
         #: Filling passes whose component spanned >1 partition.
         self.cross_partition_passes = 0
+        #: Arrivals rated exactly from local residuals (no filling pass).
+        self.arrival_fast_paths = 0
+        #: Departures proven local (freed capacity bound nobody: no pass).
+        self.departure_fast_paths = 0
+        #: Uniform groups accepted via the incremental eligibility test
+        #: (`_tighter` == 0 and an unskipped walk) without the per-member
+        #: validation scan.
+        self.uniform_fast_accepts = 0
+        #: Bottleneck-timer completions resolved in place: the lone
+        #: drained demand was unregistered and completed directly because
+        #: its departure provably freed nobody — no filling pass ran.
+        self.completion_fast_paths = 0
+        #: Filling-pass component sizes (demands walked + drained), in
+        #: power-of-two buckets: ``pass_size_hist[k]`` counts components
+        #: with size in [2^(k-1), 2^k).  Tells whether sub-component
+        #: re-rating is actually shrinking walks.
+        self.pass_size_hist = [0] * 24
         #: Highwater mark of concurrent live demands.
         self.peak_demands = 0
 
@@ -654,14 +689,20 @@ class FairQueue:
         if n > self.peak_demands:
             self.peak_demands = n
         demand._last_update = self.sim.now
-        bounds = demand._min_other
+        witnesses = demand._witness
         for i, c in enumerate(demand.constraints):
             c.demands[demand] = None
-            b = bounds[i]
-            if b == float("inf"):
+            w = witnesses[i]
+            if w is None:
                 c._unbounded += 1
             else:
-                c._bound_sum += b
+                wc = c._wit_counts
+                k = wc.get(w, 0)
+                if k == 0:
+                    c._bound_sum += w.capacity
+                wc[w] = k + 1
+                if w.capacity < c.capacity:
+                    c._tighter += 1
         self._account_partitions(demand, +1)
         # Delta-driven arrival: when the demand lands wholly inside one
         # live uniform group's span (plus fresh private constraints), it
@@ -674,9 +715,66 @@ class FairQueue:
                 if group.try_join(demand):
                     return
                 break
+        # Sub-component arrival re-rating: when the allocation is settled
+        # (no pending pass) and the newcomer fits into its constraints'
+        # residual capacity without squeezing anyone, rating it at the
+        # tightest residual is *exactly* max-min — every incumbent keeps
+        # its bottleneck, and the newcomer's bottleneck is the constraint
+        # it just saturated.  Costs O(local neighborhood), no walk.
+        if self._try_arrival_fast_path(demand):
+            return
         for c in demand.constraints:
             self._dirty[c] = None
         self._mark_dirty()
+
+    def _try_arrival_fast_path(self, demand: Demand) -> bool:
+        """Rate an arriving demand without a filling pass, if exact.
+
+        Exactness argument (unique max-min allocation == every demand has
+        a *bottleneck*: a saturated constraint where its rate is maximal):
+        give the newcomer r = min over its constraints of the residual
+        capacity, leave every incumbent untouched.  Incumbent bottlenecks
+        stay saturated and rate-maximal (the newcomer only adds load to
+        constraints that had residual >= r, so no previously saturated
+        constraint of the newcomer exists — r would be <= 0).  The
+        newcomer has a bottleneck iff some constraint with residual == r
+        has no incumbent faster than r.  If the state is not settled
+        (pending pass, group-owned or starved neighbors), decline."""
+        if self._pass_scheduled or self._dirty:
+            return False
+        r = float("inf")
+        info: List[tuple] = []  # (constraint, residual, max incumbent rate)
+        for c in demand.constraints:
+            if c.group is not None:
+                return False
+            load = 0.0
+            maxr = 0.0
+            for d2 in c.demands:
+                if d2 is demand:
+                    continue
+                rt = d2.rate
+                if rt <= 0.0 or d2._group is not None:
+                    return False  # starved or clock-managed: not settled
+                load += rt
+                if rt > maxr:
+                    maxr = rt
+            resid = c.capacity - load
+            if resid < r:
+                r = resid
+            info.append((c, resid, maxr))
+        if r <= 0.0:
+            return False
+        bottleneck: Optional[Constraint] = None
+        for c, resid, maxr in info:
+            if resid == r and maxr <= r:
+                bottleneck = c
+                break
+        if bottleneck is None:
+            return False
+        demand.rate = r
+        self.arrival_fast_paths += 1
+        self._arm_bottleneck_timer(bottleneck, demand.remaining / r)
+        return True
 
     def _account_partitions(self, demand: Demand, delta: int) -> None:
         """Maintain per-partition demand and bridge counts.
@@ -719,16 +817,24 @@ class FairQueue:
     def _unregister(self, demand: Demand) -> None:
         """Shared teardown: indexes, partition accounting, adapter hook."""
         self._live.discard(demand)
-        bounds = demand._min_other
+        witnesses = demand._witness
         for i, c in enumerate(demand.constraints):
             c.demands.pop(demand, None)
-            b = bounds[i]
-            if b == float("inf"):
+            w = witnesses[i]
+            if w is None:
                 c._unbounded -= 1
             else:
-                c._bound_sum -= b
-                if not c.demands:
-                    c._bound_sum = 0.0  # reset float drift at idle
+                wc = c._wit_counts
+                k = wc[w] - 1
+                if k:
+                    wc[w] = k
+                else:
+                    del wc[w]
+                    c._bound_sum -= w.capacity
+                    if not wc:
+                        c._bound_sum = 0.0  # reset float drift at idle
+                if w.capacity < c.capacity:
+                    c._tighter -= 1
         self._account_partitions(demand, -1)
         demand._retry_version += 1
         if demand.on_exit is not None:
@@ -742,8 +848,23 @@ class FairQueue:
             demand._group.remove(demand)
             self._unregister(demand)
             return
+        rate = demand.rate
         self._unregister(demand)
         if requeue:
+            # Sub-component departure re-rating: freeing capacity on a
+            # constraint can only change the allocation if some survivor
+            # had that constraint as its bottleneck.  A constraint that
+            # was unsaturated binds nobody; a saturated one whose fastest
+            # survivor is strictly slower than the leaver cannot be a
+            # survivor's bottleneck either (the bottleneck property needs
+            # rate >= every sharer, including the leaver).  When every
+            # constraint of the leaver passes one of those tests, the
+            # survivors' allocation is still exactly max-min: skip the
+            # pass entirely.  O(local neighborhood), no walk.
+            if rate > 0.0 and not self._dirty and not self._pass_scheduled \
+                    and self._departure_is_local(demand, rate):
+                self.departure_fast_paths += 1
+                return
             dirty = False
             for c in demand.constraints:
                 if c.demands:
@@ -751,6 +872,27 @@ class FairQueue:
                     dirty = True
             if dirty:
                 self._mark_dirty()
+
+    def _departure_is_local(self, demand: Demand, rate: float) -> bool:
+        """True when a departure provably leaves survivors' rates exact
+        (see :meth:`remove`; ``demand`` is already unregistered)."""
+        for c in demand.constraints:
+            if c.group is not None:
+                return False  # pinned foreign load: let a pass re-rate
+            if not c.demands:
+                continue
+            load = rate
+            maxr = 0.0
+            for d2 in c.demands:
+                rt = d2.rate
+                if rt <= 0.0 or d2._group is not None:
+                    return False  # starved or clock-managed: not settled
+                load += rt
+                if rt > maxr:
+                    maxr = rt
+            if maxr >= rate and load >= c.capacity * (1.0 - 1e-9):
+                return False  # could have been a survivor's bottleneck
+        return True
 
     def abort(self, demand: Demand, exc: Exception) -> None:
         """Fail a live demand with ``exc`` (endpoint death, wiped disk)."""
@@ -867,6 +1009,7 @@ class FairQueue:
         add_demand = affected.append
         push_link = links.append
         multi_partition = False
+        skipped_slack = False
         first_partition: Optional[str] = None
         while stack:
             d = pop()
@@ -886,6 +1029,7 @@ class FairQueue:
                         # Provably slack (total possible traffic below
                         # capacity): cannot bind, so it neither rates nor
                         # couples — do NOT chain components through it.
+                        skipped_slack = True
                         continue
                     c._visit = wid
                     push_link(c)
@@ -905,6 +1049,9 @@ class FairQueue:
                                 push(d2)
         if multi_partition:
             self.cross_partition_passes += 1
+        size = len(affected) + len(drained)
+        hist = self.pass_size_hist
+        hist[min(size.bit_length(), len(hist) - 1)] += 1
 
         # Complete demands that drained exactly at this instant.  Their
         # constraints stay in scope (co-demands are already collected), so
@@ -998,7 +1145,9 @@ class FairQueue:
             if pinned is not None:
                 for c, g, avail in pinned:
                     g.set_foreign(c, c._ucount * best_share)
-            elif self._try_uniform_group(best, affected):
+            elif self._try_uniform_group(
+                    best, affected,
+                    trusted=best._tighter == 0 and not skipped_slack):
                 return
             self._arm_bottleneck_timer(best, min_remaining / best_share)
             return
@@ -1010,7 +1159,8 @@ class FairQueue:
                 g.set_foreign(c, avail - r if r < avail else 0.0)
 
     def _try_uniform_group(self, bottleneck: Constraint,
-                           members: List[Demand]) -> bool:
+                           members: List[Demand],
+                           trusted: bool = False) -> bool:
         """Enter virtual-clock mode if the allocation is exactly uniform:
         every non-bottleneck constraint must carry only members (a foreign
         demand — reachable through a slack-skipped constraint — would
@@ -1018,6 +1168,12 @@ class FairQueue:
         common share.  Shared constraints are fine; their limits go into
         the group's threshold heap, and the group dissolves itself when
         completions push the share past the tightest one.
+
+        ``trusted`` skips the eligibility scan: the caller proved it
+        incrementally (no member has a side constraint tighter than the
+        bottleneck, so every side c has cap_c >= cap_B >= k_c * share;
+        and the walk skipped nothing, so its closure guarantees every
+        side constraint is members-only).
 
         The group's span covers *every* member constraint (slack ones
         included): any dirt anywhere in the span must dissolve the group
@@ -1033,9 +1189,12 @@ class FairQueue:
                 if k == 0:
                     span.append(c)
                 counts[c] = k + 1
-        for c, k in counts.items():
-            if len(c.demands) != k or k * share > c.capacity:
-                return False
+        if trusted:
+            self.uniform_fast_accepts += 1
+        else:
+            for c, k in counts.items():
+                if len(c.demands) != k or k * share > c.capacity:
+                    return False
         self.uniform_groups += 1
         group = _UniformGroup(self, bottleneck, dict.fromkeys(members),
                               span, counts)
@@ -1065,10 +1224,61 @@ class FairQueue:
             constraint._timer_at = None
             if not constraint.demands:
                 return
+            if self._try_timer_completion(constraint):
+                return
             self._dirty[constraint] = None
             self._mark_dirty()
 
         self.sim.wakeup_at(fire_at).callbacks.append(on_fire)
+
+    def _try_timer_completion(self, constraint: Constraint) -> bool:
+        """Resolve a bottleneck-timer firing in place when the pass it
+        would schedule provably has nothing to do.
+
+        Applies when the constraint holds exactly one non-grouped demand
+        that has drained: the demand completes here, and the filling pass
+        is skipped iff its departure is *local* — every constraint it
+        crossed either stays unsaturated (freed capacity binds nobody) or
+        has no survivor as fast as the leaver (so none was bottlenecked
+        by it).  This is the completion twin of the ``remove()`` departure
+        fast path; it eliminates the single-drained-demand passes that
+        otherwise dominate the pass count (most flows finish alone on
+        their bottleneck, with every shared constraint slack)."""
+        if self._dirty or self._pass_scheduled or len(constraint.demands) != 1:
+            return False
+        d = next(iter(constraint.demands))
+        rate = d.rate
+        if d._group is not None or rate <= 0.0:
+            return False
+        now = self.sim.now
+        dt = now - d._last_update
+        if dt > 0.0:
+            rem = d.remaining - rate * dt
+            d.remaining = rem if rem > 0.0 else 0.0
+            d._last_update = now
+        if d.remaining > self.EPSILON:
+            return False  # fired early (rate dropped since arming): re-rate
+        for c in d.constraints:
+            if c.group is not None:
+                return False
+            load = 0.0
+            maxr = 0.0
+            for d2 in c.demands:
+                if d2 is d:
+                    continue
+                rt = d2.rate
+                if rt <= 0.0 or d2._group is not None:
+                    return False
+                load += rt
+                if rt > maxr:
+                    maxr = rt
+            if maxr >= rate and load + rate >= c.capacity * (1.0 - 1e-9):
+                return False
+        self.completion_fast_paths += 1
+        self._unregister(d)
+        if not d.done.triggered:
+            d.done.succeed(d)
+        return True
 
     def _progressive_fill(self, affected: List[Demand],
                           heap: List[tuple], seq: int) -> None:

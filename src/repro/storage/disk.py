@@ -65,6 +65,9 @@ class Disk:
         name, matching the fabric's link partitions).
     """
 
+    __slots__ = ("sim", "host", "capacity", "_usage", "channel",
+                 "read_constraint", "write_constraint", "_alive")
+
     def __init__(self, sim: Simulator, host: str, capacity: float,
                  read_rate: float = 90e6, write_rate: float = 70e6,
                  channel: Optional[FairQueue] = None,

@@ -41,6 +41,16 @@ class TestSmokeMode:
             assert record["events"] > 0
             assert record["fabric_rebalances"] > 0
             assert record["workload_response_seconds"] > 0
+            # Periodic datanode block reports must actually carry replicas
+            # (the counter sat at zero while reports only fired at
+            # registration, when nodes are still empty).
+            assert record["control"]["nn_block_reports"] > 0
+            assert record["control"]["nn_block_report_blocks"] > 0
+            # Channel-core fast paths: arrivals rated without a filling
+            # pass, and the pass-size histogram carries every pass taken.
+            assert record["arrival_fast_paths"] > 0
+            assert record["completion_fast_paths"] > 0
+            assert sum(record["pass_size_hist"]) > 0
         # The contended scenario doubles the shuffled bytes on half-speed
         # disks: it must produce strictly more concurrent demand pressure.
         assert cont["peak_demands"] >= base["peak_demands"]

@@ -16,6 +16,7 @@ from repro.scenarios import (
     ScenarioSpec,
     WorkloadSpec,
     registry,
+    run_specs_parallel,
 )
 from repro.scenarios.run import main as cli_main
 from repro.workload.schedule import ScheduledJob, SubmissionSchedule
@@ -205,6 +206,32 @@ class TestDeterminismGuard:
             results.append((result.events, result.payload()))
         assert results[0][0] == results[1][0]
         assert results[0][1] == results[1][1]
+
+    def test_serial_and_parallel_payloads_byte_identical(self):
+        """A multiprocessing sweep must be simulation-identical to the
+        serial loop: same spec, same seed, byte-identical payload JSON
+        (only wall-clock fields may differ across the two paths)."""
+        spec = registry.build("baseline", seed=42, **SMOKE)
+
+        serial = ScenarioRunner(spec).run()
+        # Two copies through a real two-worker pool (a single spec would
+        # degrade to the in-process fallback and test nothing).
+        parallel_recs = run_specs_parallel([spec, spec], workers=2)
+
+        def payload_bytes(record: dict) -> bytes:
+            d = dict(record)
+            d.pop("wall_seconds")
+            d.pop("events_per_second")
+            d["phases"] = [{"name": p["name"],
+                            "sim_seconds": p["sim_seconds"]}
+                           for p in d["phases"]]
+            return json.dumps(d, sort_keys=True).encode()
+
+        for rec in parallel_recs:
+            assert payload_bytes(rec) == payload_bytes(serial.to_dict())
+        # And the reduced dict agrees with ScenarioResult.payload().
+        assert json.loads(payload_bytes(parallel_recs[0])) == \
+            json.loads(json.dumps(serial.payload(), sort_keys=True))
 
 
 class TestCli:
