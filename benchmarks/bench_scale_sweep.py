@@ -49,6 +49,7 @@ if __package__ in (None, ""):
         sys.path.insert(0, str(_src))
 
 from repro.experiments import calibration
+from repro.obs.diff import Thresholds, diff_reports
 from repro.scenarios import ScenarioRunner, registry
 from repro.scenarios.parallel import run_specs_parallel
 
@@ -75,6 +76,11 @@ SMOKE_100K_RAMP_FRACTION = 0.05
 #: model-coverage anchor, not a scaling anchor).
 SCENARIO_SECTION_NODES = 40
 SCENARIO_SECTION_SCALE = 0.05
+#: Gauge-sampling cadence for sweep points (sim-seconds).  Probe ticks
+#: are subtracted from the reported event count and never influence
+#: decisions, so the perf keys stay comparable with pre-obs baselines.
+BENCH_SAMPLE_INTERVAL = 60.0
+BENCH_TIMELINE_POINTS = 128
 
 
 def contended_loadgen():
@@ -102,6 +108,8 @@ def run_point(n_nodes: int, scale: float, seed: int,
     # (Frontier points pass a lower fraction: beyond ~6.7k nodes the
     # central package server caps the sustainable count itself.)
     spec.cluster.ramp_fraction = ramp_fraction
+    spec.obs.sample_interval = BENCH_SAMPLE_INTERVAL
+    spec.obs.timeline_max_points = BENCH_TIMELINE_POINTS
     runner = ScenarioRunner(spec)
     result = runner.run()
     return {
@@ -135,6 +143,10 @@ def run_point(n_nodes: int, scale: float, seed: int,
         # the index-update totals (the work the delta-driven path does
         # *instead of* rescanning every job per heartbeat).
         "control": dict(result.control),
+        # The full registry snapshot and the sampled per-phase gauge
+        # timelines — the obs sections the diff/inspect tooling reads.
+        "registry": runner.system.registry.snapshot(),
+        "timelines": result.timelines,
     }
 
 
@@ -198,6 +210,22 @@ def main(argv=None) -> int:
                              "--output is given)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="where to write the JSON report")
+    parser.add_argument("--check-against", type=Path, default=None,
+                        metavar="BASELINE",
+                        help="diff the fresh report against this older "
+                             "BENCH_scale.json and exit 1 on any "
+                             "threshold-flagged regression (wall "
+                             "tolerance, events/s floor, fast-path-rate "
+                             "floor, behaviour shifts)")
+    parser.add_argument("--check-wall-tolerance", type=float, default=None,
+                        help="allowed fractional wall growth for "
+                             "--check-against (default 0.5)")
+    parser.add_argument("--check-eps-floor", type=float, default=None,
+                        help="events/s floor as a fraction of the "
+                             "baseline (default 0.8)")
+    parser.add_argument("--check-fastpath-drop", type=float, default=None,
+                        help="allowed absolute fast-path-rate drop "
+                             "(default 0.05)")
     args = parser.parse_args(argv)
 
     if args.smoke_100k:
@@ -218,7 +246,7 @@ def main(argv=None) -> int:
         }
         args.output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"[scale-sweep] wrote {args.output}")
-        return 0
+        return _check_against(args, report)
 
     nodes = args.nodes
     scale = args.scale
@@ -284,7 +312,31 @@ def main(argv=None) -> int:
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"[scale-sweep] wrote {args.output}")
-    return 0
+    return _check_against(args, report)
+
+
+def _check_against(args, report: dict) -> int:
+    """The CI regression gate: diff the fresh report against a baseline
+    through :mod:`repro.obs.diff`; non-zero exit on any flagged entry."""
+    if args.check_against is None:
+        return 0
+    baseline = json.loads(args.check_against.read_text())
+    thresholds = Thresholds()
+    if args.check_wall_tolerance is not None:
+        thresholds.wall_tolerance = args.check_wall_tolerance
+    if args.check_eps_floor is not None:
+        thresholds.eps_floor = args.check_eps_floor
+    if args.check_fastpath_drop is not None:
+        thresholds.fastpath_drop = args.check_fastpath_drop
+    entries, notes = diff_reports(baseline, report, thresholds)
+    for note in notes:
+        print(f"[scale-sweep] note: {note}")
+    flagged = [e for e in entries if e.flag]
+    for entry in flagged:
+        print(f"[scale-sweep] REGRESSION {entry.format()}")
+    print(f"[scale-sweep] check-against {args.check_against}: "
+          f"{len(entries)} changed value(s), {len(flagged)} flagged")
+    return 1 if flagged else 0
 
 
 def _report(record: dict) -> None:

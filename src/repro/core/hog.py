@@ -24,6 +24,8 @@ from ..mapreduce.jobtracker import JobTracker
 from ..mapreduce.tasktracker import TaskTracker
 from ..net.fabric import NetworkFabric
 from ..net.topology import DnsSiteResolver, FlatResolver, NetworkTopology
+from ..obs.registry import Registry
+from ..obs.trace import Tracer
 from ..sim.engine import Simulator
 from ..sim.events import Interrupt
 from ..sim.monitor import StepSeries
@@ -137,6 +139,62 @@ class HOGSystem:
         self.jobtracker.tracker_count_listeners.append(
             lambda n: self.believed_series.record(self.sim.now, n))
         self._sampler_started = False
+        #: The unified metrics registry over every subsystem counter;
+        #: consumers call ``hog.registry.snapshot()`` instead of plucking
+        #: fields off live objects.
+        self.registry = self._build_registry()
+        self.tracer: Optional[Tracer] = None
+
+    def _build_registry(self) -> Registry:
+        """Bind every scattered counter and gauge into one registry.
+
+        Bindings are *reads over live objects*: hot paths keep their plain
+        attribute increments, and the registry only aggregates at snapshot
+        time — so absorbing a counter here costs its owner nothing.
+        """
+        reg = Registry()
+        channel = self.fabric.channel
+        reg.bind_attrs("channel", channel, (
+            "rebalances", "uniform_groups", "uniform_completions",
+            "uniform_leaves", "uniform_joins", "uniform_pins",
+            "cross_partition_passes", "arrival_fast_paths",
+            "departure_fast_paths", "completion_fast_paths",
+            "uniform_fast_accepts", "starvation_rescues", "peak_demands",
+            "pass_size_hist"))
+        reg.bind_attrs("channel", self.fabric, ("peak_flows",))
+        reg.bind_snapshot("control", self.control_plane_stats)
+        reg.bind_counterset("grid", self.factory.counters, prefix="glideins")
+        reg.bind_counterset("grid", self.factory.counters, prefix="preemption")
+        # Read-only gauges for the sim-time sampler (ProbeSet): every
+        # reader below is a pure O(small) state read with no side effects.
+        reg.gauge("running_nodes", self.factory.running_count)
+        reg.gauge("believed_nodes", self.jobtracker.live_tracker_count)
+        reg.gauge("active_flows", lambda: self.fabric.active_flows)
+        reg.gauge("active_demands", lambda: channel.active_demands)
+        reg.gauge("pending_maps", lambda: sum(
+            len(j.pending_map_tasks) for j in self.jobtracker.active_jobs()))
+        reg.gauge("pending_reduces", lambda: sum(
+            len(j.pending_reduce_tasks) for j in self.jobtracker.active_jobs()))
+        reg.gauge("under_replicated", self.namenode.under_replicated_count)
+        reg.gauge("repl_heap_depth", lambda: len(self.namenode._repl_heap))
+        reg.gauge("event_heap_depth", lambda: len(self.sim._heap))
+        return reg
+
+    def attach_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Install (or remove, with ``None``) the causal tracer.
+
+        One call wires every emission site: the jobtracker (job/attempt
+        spans, heartbeat rounds), the namenode (datanodes read it for
+        HDFS flow spans), the glidein factory (preemption bursts), and
+        the channel core (filling passes).  Nodes provisioned later pick
+        it up through their master daemons, so attaching before or after
+        :meth:`start` both work.
+        """
+        self.tracer = tracer
+        self.jobtracker.tracer = tracer
+        self.namenode.tracer = tracer
+        self.factory.tracer = tracer
+        self.fabric.channel.tracer = tracer
 
     # -- node lifecycle hooks (called by the glidein factory) -----------------------
     def _node_start(self, host: str, site: GridSite) -> WorkerNode:

@@ -260,6 +260,9 @@ class GlideinFactory:
         self._n_running = 0
         self._n_pending = 0
         self.counters = CounterSet()
+        #: Optional :class:`~repro.obs.trace.Tracer` for grid lifecycle
+        #: marks (preemption bursts); ``None`` disables emission.
+        self.tracer = None
         #: Called with the current running-node count whenever it changes.
         self.node_count_listeners: List[Callable[[int], None]] = []
         #: (threshold, event) pairs resolved as the count crosses them.
@@ -409,6 +412,10 @@ class GlideinFactory:
                 idx = self.rng.choice(len(running), size=min(k, len(running)),
                                       replace=False)
                 self.counters.incr("preemption_bursts")
+                tr = self.tracer
+                if tr is not None:
+                    tr.instant("grid", "preemption-burst", self.sim.now,
+                               track=site.name, args={"evicted": len(idx)})
                 for i in idx:
                     running[int(i)].preempt()
         except Interrupt:

@@ -228,6 +228,7 @@ class Datanode:
             done.fail(exc)
             done.defused()
             return
+        start = self.sim.now
         try:
             if self.disk.shares_channel_with(self.fabric):
                 # Streaming receive: one demand jointly constrained by the
@@ -261,6 +262,11 @@ class Datanode:
             done.defused()
             return
         self._blocks[block.block_id] = block
+        tr = self.namenode.tracer
+        if tr is not None:
+            tr.span("hdfs", f"recv-b{block.block_id}", start, self.sim.now,
+                    track=self.host, args={"from": source,
+                                           "bytes": block.size})
         self.namenode.block_received(block.block_id, self.host)
         done.succeed(block)
 
@@ -282,6 +288,7 @@ class Datanode:
             done.defused()
             return
         block = self._blocks[block_id]
+        start = self.sim.now
         try:
             # Streaming read: jointly constrained by our disk read
             # bandwidth and the network path to the reader.
@@ -291,6 +298,11 @@ class Datanode:
             done.fail(BlockReadError(str(exc)))
             done.defused()
             return
+        tr = self.namenode.tracer
+        if tr is not None:
+            tr.span("hdfs", f"read-b{block_id}", start, self.sim.now,
+                    track=self.host, args={"to": reader,
+                                           "bytes": block.size})
         done.succeed(block)
 
     def remove_block(self, block_id: int) -> None:

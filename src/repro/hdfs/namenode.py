@@ -99,6 +99,10 @@ class Namenode:
         self._hb_heap: List[Tuple[float, str]] = []
         self._next_block_id = 0
         self.counters = CounterSet()
+        #: Optional :class:`~repro.obs.trace.Tracer`; datanodes read it
+        #: off their namenode for HDFS flow spans, so dynamically
+        #: provisioned nodes need no per-node wiring.
+        self.tracer = None
         #: Called with the hostname whenever a datanode is declared dead.
         self.dead_node_listeners: List[Callable[[str], None]] = []
         self._monitors_started = False

@@ -112,6 +112,9 @@ class JobTracker:
         #: Per-job, per-tracker attempt failures (drives blacklisting).
         self._tracker_failures: Dict[tuple, int] = {}
         self.counters = CounterSet()
+        #: Optional :class:`~repro.obs.trace.Tracer` for job/attempt spans
+        #: and heartbeat-round marks; ``None`` disables all emission.
+        self.tracer = None
         #: Fired with the Job whenever one finishes (success or failure).
         self.job_done_listeners: List[Callable[[Job], None]] = []
         #: Fired with the live-tracker count whenever it changes (the
@@ -240,6 +243,11 @@ class JobTracker:
             # trackers landing at this instant share them.
             self._round_key = round_key
             self.heartbeat_rounds += 1
+            tr = self.tracer
+            if tr is not None:
+                tr.instant("control", "heartbeat-round", self.sim.now,
+                           "jobtracker", args={"round": self.heartbeat_rounds,
+                                               "trackers": self._live_trackers})
             self.scheduler.begin_round()
         for task, speculative, locality in self.scheduler.assign(tracker):
             self._launch(task, tracker, speculative, locality)
@@ -257,6 +265,7 @@ class JobTracker:
             for task in list(job.running_map_tasks) + list(job.running_reduce_tasks):
                 for attempt in task.running_attempts:
                     if attempt.tracker.host == host:
+                        self.trace_attempt(attempt, "lost")
                         attempt.status = TaskStatus.FAILED
                 self._requeue_if_needed(task)
             # 2. Re-execute completed maps whose output lived on the lost
@@ -388,9 +397,40 @@ class JobTracker:
         self.counters.incr(f"{task.type}_attempts_launched")
         tracker.launch(attempt)
 
+    def trace_attempt(self, attempt: TaskAttempt, outcome: str) -> None:
+        """Emit the attempt's causal span (``task`` category).
+
+        The span covers launch → report on the executing tracker's lane,
+        parented to the owning job's span id, so Perfetto shows the full
+        job → attempt → shuffle chain.
+        """
+        tr = self.tracer
+        if tr is None:
+            return
+        task = attempt.task
+        tr.span("task", f"{task.type}-{task.index}",
+                attempt.start_time, self.sim.now,
+                track=attempt.tracker.host,
+                span_id=f"a{attempt.attempt_id}",
+                parent=f"j{task.job.job_id}",
+                args={"outcome": outcome,
+                      "speculative": attempt.speculative})
+
+    def _trace_job(self, job: Job) -> None:
+        """Emit the job's submit → finish span (``job`` category)."""
+        tr = self.tracer
+        if tr is None:
+            return
+        tr.span("job", f"job-{job.job_id}", job.submit_time, self.sim.now,
+                track="jobtracker", span_id=f"j{job.job_id}",
+                args={"status": str(job.status),
+                      "maps": job.spec.num_maps,
+                      "reduces": job.spec.num_reduces})
+
     def map_attempt_completed(self, attempt: TaskAttempt,
                               output: MapOutput) -> None:
         """A map attempt finished; first winner completes the task."""
+        self.trace_attempt(attempt, "completed")
         task = attempt.task
         job = task.job
         if task.status == TaskStatus.COMPLETED or job.status != JobStatus.RUNNING:
@@ -406,6 +446,7 @@ class JobTracker:
 
     def reduce_attempt_completed(self, attempt: TaskAttempt) -> None:
         """A reduce attempt finished; first winner completes the task."""
+        self.trace_attempt(attempt, "completed")
         task = attempt.task
         job = task.job
         if task.status == TaskStatus.COMPLETED or job.status != JobStatus.RUNNING:
@@ -426,6 +467,7 @@ class JobTracker:
 
     def attempt_failed(self, attempt: TaskAttempt, reason: str) -> None:
         """An attempt reported failure: count, maybe blacklist, re-queue."""
+        self.trace_attempt(attempt, "failed")
         task = attempt.task
         job = task.job
         if task.status == TaskStatus.COMPLETED or job.status != JobStatus.RUNNING:
@@ -474,6 +516,7 @@ class JobTracker:
         self._active_jobs_cache = None
         self.jobs_version += 1
         self.counters.incr("jobs_succeeded")
+        self._trace_job(job)
         self._cleanup_job(job)
 
     def _fail_job(self, job: Job, reason: str) -> None:
@@ -482,6 +525,7 @@ class JobTracker:
         self._active_jobs_cache = None
         self.jobs_version += 1
         self.counters.incr("jobs_failed")
+        self._trace_job(job)
         for task in list(job.maps) + list(job.reduces):
             for attempt in task.running_attempts:
                 attempt.tracker.kill_attempt(attempt)

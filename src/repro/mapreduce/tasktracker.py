@@ -173,12 +173,16 @@ class TaskTracker:
             name=f"attempt:{attempt.attempt_id}@{self.host}")
 
     def kill_attempt(self, attempt: TaskAttempt) -> None:
-        """Abort a running attempt (speculation lost / task obsolete)."""
+        """Abort a running attempt (speculation lost / task obsolete /
+        node death)."""
         self._untrack(attempt)
         if attempt.process is not None and attempt.process.is_alive:
             if self.sim.active_process is not attempt.process:
                 attempt.process.interrupt("killed")
         if attempt.status == TaskStatus.RUNNING:
+            # Every kill path funnels through here, so this is the one
+            # spot that closes the attempt's causal span.
+            self.jobtracker.trace_attempt(attempt, "killed")
             attempt.status = TaskStatus.FAILED
 
     def _kill_all_attempts(self) -> None:
@@ -297,6 +301,7 @@ class TaskTracker:
         ridx = task.index
         fetched = set()
         total_bytes = 0.0
+        shuffle_start = self.sim.now
         wake = [None]
 
         def on_output(_output: MapOutput) -> None:
@@ -333,6 +338,15 @@ class TaskTracker:
                     else:
                         self.jobtracker.report_fetch_failure(
                             job, mo.map_index, mo.host)
+
+            tr = self.jobtracker.tracer
+            if tr is not None:
+                tr.span("shuffle", f"shuffle-r{ridx}", shuffle_start,
+                        self.sim.now, track=self.host,
+                        span_id=f"sh-a{attempt.attempt_id}",
+                        parent=f"a{attempt.attempt_id}",
+                        args={"maps": spec.num_maps,
+                              "bytes": round(total_bytes, 1)})
 
             # --- merge/sort phase ---
             if total_bytes > 0:

@@ -40,8 +40,15 @@ SMOKE_SCALE = 0.04
 
 
 def _build_spec(name: str, args):
-    return registry.build(name, n_nodes=args.nodes, scale=args.scale,
+    spec = registry.build(name, n_nodes=args.nodes, scale=args.scale,
                           seed=args.seed)
+    if args.obs_sample is not None:
+        spec.obs.sample_interval = args.obs_sample
+    if args.trace or args.trace_out is not None:
+        spec.obs.trace = True
+    if args.profile_engine:
+        spec.obs.profile_engine = True
+    return spec
 
 
 def _run_one(name: str, args) -> dict:
@@ -54,6 +61,11 @@ def _run_one(name: str, args) -> dict:
           f"scale {spec.workload.scale} ...", file=sys.stderr, flush=True)
     result = runner.run()
     print(f"[scenario]   {result.summary()}", file=sys.stderr, flush=True)
+    if args.trace_out is not None and runner.tracer is not None:
+        runner.tracer.write(args.trace_out)
+        print(f"[scenario] wrote trace {args.trace_out} "
+              f"({runner.tracer.stats()['kept']} records; open in "
+              f"Perfetto / chrome://tracing)", file=sys.stderr)
     return result.to_dict()
 
 
@@ -86,12 +98,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "the top-25 cumulative entries to stderr")
     parser.add_argument("--output", type=Path, default=None,
                         help="write the result JSON here instead of stdout")
+    parser.add_argument("--obs-sample", type=float, default=None,
+                        metavar="SECS",
+                        help="sample registered gauges every SECS "
+                             "sim-seconds into per-phase timelines")
+    parser.add_argument("--trace", action="store_true",
+                        help="record causal spans (job/attempt/shuffle/"
+                             "HDFS) into a bounded ring buffer")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        metavar="FILE",
+                        help="write the Chrome trace-event JSON here "
+                             "(implies --trace; serial single-scenario "
+                             "runs only)")
+    parser.add_argument("--profile-engine", action="store_true",
+                        help="attach the engine self-profiler (dispatch "
+                             "mix, heap high-water) to the result")
     args = parser.parse_args(argv)
 
     if args.parallel < 1:
         parser.error("--parallel needs a positive worker count")
     if args.profile and args.parallel > 1:
         parser.error("--profile requires a serial run (drop --parallel)")
+    if args.trace_out is not None and (args.parallel > 1
+                                       or args.name == "all"):
+        parser.error("--trace-out needs a serial single-scenario run")
 
     if args.list:
         for name, desc in registry.describe().items():

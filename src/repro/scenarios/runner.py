@@ -39,7 +39,10 @@ from ..hdfs.balancer import Balancer
 from ..hdfs.config import hog_config
 from ..mapreduce.config import hog_mr_config
 from ..metrics.report import WorkloadResult
+from ..obs.probes import ProbeSet
+from ..obs.trace import Tracer
 from ..sim.engine import Simulator
+from ..sim.events import EngineProfile
 from ..sim.monitor import StepSeries
 from ..workload.schedule import SubmissionSchedule, build_facebook_schedule
 from . import calibration
@@ -48,8 +51,9 @@ from .spec import ScenarioSpec
 __all__ = ["PhaseStat", "ScenarioResult", "ScenarioRunner",
            "drive_workload", "collect_result"]
 
-#: Channel-core statistics recorded per run (names match the FairQueue
-#: attributes and the scale-sweep benchmark's JSON fields).
+#: Channel-core statistics recorded per run.  Kept as the documented key
+#: list of the result's ``channel`` section (benchmark JSON compat); the
+#: values themselves now come from ``HOGSystem.registry.snapshot()``.
 CHANNEL_STATS = ("rebalances", "uniform_groups", "uniform_completions",
                  "uniform_leaves", "uniform_joins", "uniform_pins",
                  "cross_partition_passes", "arrival_fast_paths",
@@ -130,6 +134,11 @@ class ScenarioResult:
     produce identical payloads (the determinism guard asserts this).
     """
 
+    #: Result-record schema version (bump on key layout changes so the
+    #: obs diff tooling can evolve safely).  v2 added the registry-fed
+    #: sections, per-phase timelines, and the engine profile.
+    SCHEMA_VERSION = 2
+
     scenario: str
     nodes: int
     seed: int
@@ -141,14 +150,17 @@ class ScenarioResult:
     wall_seconds: float
     events: int
     phases: List[PhaseStat] = field(default_factory=list)
-    #: Channel-core pass statistics plus the fabric's peak flow count.
+    #: Channel-core pass statistics plus the fabric's peak flow count
+    #: (the registry's ``channel`` namespace).
     channel: Dict[str, int] = field(default_factory=dict)
     #: Control-plane counters (heartbeat rounds, scheduler index updates,
-    #: namenode block-report aggregates) — the delta-driven path's cost.
+    #: namenode block-report aggregates) — the delta-driven path's cost
+    #: (the registry's ``control`` namespace).
     control: Dict[str, int] = field(default_factory=dict)
     #: Map-launch locality histogram summed over jobs.
     locality: Dict[str, int] = field(default_factory=dict)
-    #: Glidein provisioning/preemption counters from the factory.
+    #: Glidein provisioning/preemption counters (the registry's ``grid``
+    #: namespace, plus the trace driver's skip count when one ran).
     preemptions: Dict[str, int] = field(default_factory=dict)
     failed_jobs: int = 0
     jobs_completed: int = 0
@@ -156,6 +168,14 @@ class ScenarioResult:
     node_area: Optional[float] = None
     #: Concurrent-balancer outcome, when the scenario ran one.
     balancer: Optional[Dict[str, object]] = None
+    #: Per-phase gauge timelines ``{phase: {gauge: {"t": [...],
+    #: "v": [...]}}}`` when probes were enabled; presence varies with the
+    #: sampling cadence, so the section is NOT part of :meth:`payload`.
+    timelines: Optional[Dict[str, dict]] = None
+    #: Engine self-profile (dispatch mix, heap high-water); obs-only.
+    engine: Optional[dict] = None
+    #: Tracer roll-up (recorded/kept/dropped, per-category); obs-only.
+    trace: Optional[dict] = None
 
     @property
     def events_per_second(self) -> Optional[int]:
@@ -167,6 +187,7 @@ class ScenarioResult:
     def to_dict(self) -> dict:
         """Full JSON-ready record (wall-clock fields included)."""
         return {
+            "schema_version": self.SCHEMA_VERSION,
             "scenario": self.scenario,
             "nodes": self.nodes,
             "seed": self.seed,
@@ -186,14 +207,26 @@ class ScenarioResult:
             "node_area": (None if self.node_area is None
                           else round(self.node_area, 1)),
             "balancer": self.balancer,
+            "timelines": self.timelines,
+            "engine": self.engine,
+            "trace": self.trace,
         }
 
     def payload(self) -> dict:
         """Simulation-determined subset of :meth:`to_dict` (no wall
-        clocks) — identical across same-seed runs."""
+        clocks) — identical across same-seed runs.
+
+        Telemetry sections whose *presence or shape* depends on obs
+        settings (timelines, engine profile, tracer stats) are stripped
+        too: the payload must be byte-identical with telemetry off, on,
+        and at any sampling cadence.
+        """
         d = self.to_dict()
         d.pop("wall_seconds")
         d.pop("events_per_second")
+        d.pop("timelines")
+        d.pop("engine")
+        d.pop("trace")
         d["phases"] = [{"name": p["name"], "sim_seconds": p["sim_seconds"]}
                        for p in d["phases"]]
         return d
@@ -228,6 +261,10 @@ class ScenarioRunner:
         self.system: Optional[HOGSystem] = None
         self.workload: Optional[WorkloadResult] = None
         self.result: Optional[ScenarioResult] = None
+        #: Live tracer after :meth:`run` when ``spec.obs.trace`` was set —
+        #: consumers export Chrome trace JSON via ``runner.tracer.write()``.
+        self.tracer: Optional[Tracer] = None
+        self.probes: Optional[ProbeSet] = None
 
     # -- construction ------------------------------------------------------
     def build_config(self) -> HOGConfig:
@@ -284,12 +321,28 @@ class ScenarioRunner:
         hog = HOGSystem(sim, self.build_config())
         self.sim, self.system = sim, hog
 
+        # Telemetry (all off by default; none of it may change outcomes).
+        obs = spec.obs
+        if obs.trace:
+            self.tracer = Tracer(capacity=obs.trace_capacity,
+                                 categories=obs.trace_categories)
+            hog.attach_tracer(self.tracer)
+        if obs.profile_engine:
+            sim.profile = EngineProfile()
+        if obs.sample_interval is not None:
+            self.probes = ProbeSet(sim, hog.registry.gauges(),
+                                   obs.sample_interval)
+            self.probes.start()
+
         phases: List[PhaseStat] = []
+        #: (name, sim start, sim end) per phase, for timeline slicing.
+        phase_bounds: List[tuple] = []
         wall_start = time.perf_counter()
 
         def phase(name: str, t0: float, s0: float) -> None:
             phases.append(PhaseStat(name, time.perf_counter() - t0,
                                     sim.now - s0))
+            phase_bounds.append((name, s0, sim.now))
 
         # 1. Ramp: wait for the node target (§IV-A).
         t0, s0 = time.perf_counter(), sim.now
@@ -358,20 +411,19 @@ class ScenarioRunner:
             "HOG", c.n_nodes, jobs, start, end, hog.believed_series,
             hog.jobtracker)
 
-        channel = hog.fabric.channel
-        stats = {name: getattr(channel, name) for name in CHANNEL_STATS}
-        stats["peak_flows"] = hog.fabric.peak_flows
-        # Histogram of filling-pass component sizes (power-of-two buckets:
-        # bucket i counts passes touching [2^(i-1), 2^i) demands).  Trailing
-        # zero buckets are trimmed so small runs stay compact.
-        hist = list(channel.pass_size_hist)
-        while hist and hist[-1] == 0:
-            hist.pop()
-        stats["pass_size_hist"] = hist
-        preempt = {k: v for k, v in hog.factory.counters.as_dict().items()
-                   if k.startswith(("glideins", "preemption"))}
+        if self.probes is not None:
+            self.probes.stop()
+        # One registry snapshot replaces the old per-section hand-plucking;
+        # the sections below are its namespaces verbatim.
+        snap = hog.registry.snapshot()
+        preempt = snap["grid"]
         if driver is not None:
             preempt["trace_events_skipped"] = driver.skipped
+        # Fired probe ticks are engine events too; subtract them so the
+        # reported event count is identical at any sampling cadence.
+        events = sim.events_processed
+        if self.probes is not None:
+            events -= self.probes.events_injected
 
         self.result = ScenarioResult(
             scenario=spec.name,
@@ -381,10 +433,10 @@ class ScenarioRunner:
             makespan_seconds=self.workload.response_time,
             sim_seconds=sim.now,
             wall_seconds=wall,
-            events=sim.events_processed,
+            events=events,
             phases=phases,
-            channel=stats,
-            control=hog.control_plane_stats(),
+            channel=snap["channel"],
+            control=snap["control"],
             locality=self.workload.locality,
             preemptions=preempt,
             failed_jobs=self.workload.failed_jobs,
@@ -392,5 +444,39 @@ class ScenarioRunner:
                                self.workload.bin_responses.values()),
             node_area=self.workload.node_area,
             balancer=balancer_info,
+            timelines=self._phase_timelines(phase_bounds),
+            engine=(sim.profile.as_dict() if sim.profile is not None
+                    else None),
+            trace=(self.tracer.stats() if self.tracer is not None else None),
         )
         return self.result
+
+    def _phase_timelines(self, phase_bounds: List[tuple]
+                         ) -> Optional[Dict[str, dict]]:
+        """Slice the probe series into per-phase timelines.
+
+        Each phase gets the samples taken during it (``s0 <= t < s1``;
+        the final phase keeps its right boundary), downsampled to the
+        spec's ``timeline_max_points``.  ``None`` when probes were off.
+        """
+        if self.probes is None:
+            return None
+        max_points = self.spec.obs.timeline_max_points
+        out: Dict[str, dict] = {}
+        for i, (name, s0, s1) in enumerate(phase_bounds):
+            last = i == len(phase_bounds) - 1
+            gauges: Dict[str, dict] = {}
+            for gname, series in self.probes.series.items():
+                sliced = StepSeries(gname)
+                for t, v in zip(series.times, series.values):
+                    if t < s0 or t > s1 or (t == s1 and not last):
+                        continue
+                    sliced.record(float(t), float(v))
+                if len(sliced) == 0:
+                    continue
+                times, values = sliced.downsample(max(2, max_points))
+                gauges[gname] = {"t": [round(t, 3) for t in times],
+                                 "v": values}
+            if gauges:
+                out[name] = gauges
+        return out

@@ -38,7 +38,8 @@ from ..workload.schedule import (
     SubmissionSchedule,
 )
 
-__all__ = ["ClusterSpec", "WorkloadSpec", "FaultSpec", "ScenarioSpec"]
+__all__ = ["ClusterSpec", "WorkloadSpec", "FaultSpec", "ObsSpec",
+           "ScenarioSpec"]
 
 
 def _opt_dict(obj) -> Optional[dict]:
@@ -215,6 +216,54 @@ class FaultSpec:
 
 
 @dataclass
+class ObsSpec:
+    """Telemetry knobs for one run (all off by default).
+
+    The hard contract (``tests/test_obs.py``): none of these settings may
+    change a simulation outcome — the determinism payload is byte-identical
+    with everything off, everything on, and any ``sample_interval``.
+    """
+
+    #: Sim-time gauge sampling cadence in seconds; ``None`` disables the
+    #: probes (no timer events are ever created).
+    sample_interval: Optional[float] = None
+    #: Enable the causal tracer (job/attempt/shuffle/HDFS spans + marks).
+    trace: bool = False
+    #: Tracer category allow-list; ``None`` records every category.
+    #: High-volume categories (``channel``) are worth opting into
+    #: explicitly on large runs.
+    trace_categories: Optional[List[str]] = None
+    #: Tracer ring-buffer bound (newest records kept).
+    trace_capacity: int = 100_000
+    #: Attach an :class:`~repro.sim.events.EngineProfile` to the engine.
+    profile_engine: bool = False
+    #: Cap on points per emitted gauge timeline (downsampled above this).
+    timeline_max_points: int = 512
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        if self.sample_interval is not None and self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive or None")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
+        if self.timeline_max_points < 2:
+            raise ValueError("timeline_max_points must be >= 2")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any telemetry feature is switched on."""
+        return (self.sample_interval is not None or self.trace
+                or self.profile_engine)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Optional[dict]) -> "ObsSpec":
+        return cls(**d) if d else cls()
+
+
+@dataclass
 class ScenarioSpec:
     """One complete, runnable, serializable scenario."""
 
@@ -223,6 +272,8 @@ class ScenarioSpec:
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     faults: FaultSpec = field(default_factory=FaultSpec)
+    #: Telemetry configuration; the all-defaults instance means "off".
+    obs: ObsSpec = field(default_factory=ObsSpec)
     #: Task scheduler: ``fifo`` (the paper), ``delay``, or ``matchmaking``.
     scheduler: str = "fifo"
     seed: int = 0
@@ -251,6 +302,7 @@ class ScenarioSpec:
         self.cluster.validate()
         self.workload.validate()
         self.faults.validate()
+        self.obs.validate()
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> dict:
@@ -261,6 +313,7 @@ class ScenarioSpec:
             "cluster": self.cluster.to_dict(),
             "workload": self.workload.to_dict(),
             "faults": self.faults.to_dict(),
+            "obs": self.obs.to_dict(),
             "scheduler": self.scheduler,
             "seed": self.seed,
             "timeout": self.timeout,
@@ -276,6 +329,8 @@ class ScenarioSpec:
         d["cluster"] = ClusterSpec.from_dict(d.get("cluster") or {})
         d["workload"] = WorkloadSpec.from_dict(d.get("workload") or {})
         d["faults"] = FaultSpec.from_dict(d.get("faults") or {})
+        # Tolerate specs saved before the obs section existed.
+        d["obs"] = ObsSpec.from_dict(d.pop("obs", None))
         return cls(**d)
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -652,6 +652,10 @@ class FairQueue:
         self.pass_size_hist = [0] * 24
         #: Highwater mark of concurrent live demands.
         self.peak_demands = 0
+        #: Optional :class:`~repro.obs.trace.Tracer` for filling-pass
+        #: marks (``channel`` category).  ``None`` keeps the pass body
+        #: free of any telemetry cost beyond one attribute load.
+        self.tracer = None
 
     # -- construction ---------------------------------------------------------
     def constraint(self, name: str, capacity: float,
@@ -1052,6 +1056,11 @@ class FairQueue:
         size = len(affected) + len(drained)
         hist = self.pass_size_hist
         hist[min(size.bit_length(), len(hist) - 1)] += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("channel", "filling-pass", now, "channel",
+                           args={"size": size, "drained": len(drained),
+                                 "cross_partition": multi_partition})
 
         # Complete demands that drained exactly at this instant.  Their
         # constraints stay in scope (co-demands are already collected), so

@@ -116,6 +116,24 @@ class StepSeries:
         """Return ``(times, values)`` arrays (copies)."""
         return self.times, self.values
 
+    def downsample(self, max_points: int) -> Tuple[List[float], List[float]]:
+        """Return ``(times, values)`` lists with at most ``max_points``
+        change points, always keeping the first and last.
+
+        Intermediate points are picked at evenly spaced indices — a
+        deterministic thinning that preserves the series' envelope well
+        enough for timeline storage/plotting (exact integration should
+        use the full series).
+        """
+        if max_points < 2:
+            raise ValueError(f"max_points must be >= 2, got {max_points}")
+        n = len(self._times)
+        if n <= max_points:
+            return list(self._times), list(self._values)
+        idx = [i * (n - 1) // (max_points - 1) for i in range(max_points)]
+        return ([self._times[i] for i in idx],
+                [self._values[i] for i in idx])
+
 
 class CounterSet:
     """A named bag of monotonically increasing counters."""
@@ -143,9 +161,19 @@ class CounterSet:
 
 class EventLog:
     """An append-only log of ``(time, kind, payload)`` tuples for debugging
-    and for tests that assert on the order of system events."""
+    and for tests that assert on the order of system events.
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
+    Bounded by default (:data:`DEFAULT_CAPACITY` newest entries kept) so
+    long scale runs cannot grow a log without limit; pass an explicit
+    ``capacity=None`` for the unbounded behaviour tests rely on when they
+    must see every entry.
+    """
+
+    #: Default ring bound — large enough for any test-sized run, small
+    #: enough that a 10k-node sweep cannot hoard entry tuples.
+    DEFAULT_CAPACITY = 65536
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY) -> None:
         self._entries: List[Tuple[float, str, dict]] = []
         self._capacity = capacity
 

@@ -70,6 +70,33 @@ class TestSmokeMode:
         # rebalance_under_load must really have balanced under load.
         assert section["rebalance_under_load"]["balancer"]["moved_blocks"] > 0
 
+        # Each sweep point carries the obs sections the diff/inspect
+        # tooling reads: the full registry snapshot and sampled per-phase
+        # gauge timelines.
+        assert base["registry"]["channel"]["rebalances"] == \
+            base["fabric_rebalances"]
+        assert base["registry"]["control"] == base["control"]
+        assert base["timelines"]
+        workload = base["timelines"].get("workload", {})
+        assert "running_nodes" in workload and "active_flows" in workload
+        for record in section.values():
+            assert record["schema_version"] == 2
+
+        # --check-against: a self-diff gates clean ...
+        import argparse
+        ns = argparse.Namespace(check_against=out, check_wall_tolerance=None,
+                                check_eps_floor=None,
+                                check_fastpath_drop=None)
+        assert bench._check_against(ns, report) == 0
+        # ... while an injected throughput regression (baseline claims 10x
+        # the fresh events/s) trips the floor and exits non-zero.
+        tampered = json.loads(out.read_text())
+        tampered["points"][0]["events_per_second"] *= 10
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(tampered))
+        ns.check_against = baseline
+        assert bench._check_against(ns, report) == 1
+
     def test_contended_scenario_is_disk_throttled(self):
         bench = _load_bench_module()
         node = bench.contended_node()

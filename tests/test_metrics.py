@@ -89,6 +89,42 @@ class TestStepSeries:
         assert list(v) == [1.0, 2.0]
 
 
+class TestDownsample:
+    def _series(self, n):
+        s = StepSeries("g")
+        for i in range(n):
+            s.record(float(i), float(i * i))
+        return s
+
+    def test_short_series_returned_whole(self):
+        s = self._series(5)
+        t, v = s.downsample(10)
+        assert t == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert v == [0.0, 1.0, 4.0, 9.0, 16.0]
+
+    def test_thinning_keeps_first_and_last(self):
+        s = self._series(1000)
+        t, v = s.downsample(16)
+        assert len(t) == len(v) == 16
+        assert t[0] == 0.0 and t[-1] == 999.0
+        assert v[0] == 0.0 and v[-1] == 999.0 ** 2
+        assert t == sorted(t)
+
+    def test_thinning_is_deterministic(self):
+        s = self._series(333)
+        assert s.downsample(7) == s.downsample(7)
+
+    def test_rejects_degenerate_budget(self):
+        with pytest.raises(ValueError):
+            self._series(5).downsample(1)
+
+    def test_returns_copies(self):
+        s = self._series(3)
+        t, _ = s.downsample(10)
+        t.append(99.0)
+        assert len(s) == 3
+
+
 class TestCounters:
     def test_incr_and_get(self):
         c = CounterSet()
@@ -115,6 +151,21 @@ class TestEventLog:
             log.log(float(i), "e", i=i)
         assert len(log) == 2
         assert [e[2]["i"] for e in log.entries()] == [3, 4]
+
+    def test_bounded_by_default(self):
+        log = EventLog()
+        assert EventLog.DEFAULT_CAPACITY == 65536
+        for i in range(EventLog.DEFAULT_CAPACITY + 10):
+            log.log(float(i), "e", i=i)
+        assert len(log) == EventLog.DEFAULT_CAPACITY
+        # The newest entries win.
+        assert log.entries()[-1][2]["i"] == EventLog.DEFAULT_CAPACITY + 9
+
+    def test_explicit_none_is_unbounded(self):
+        log = EventLog(capacity=None)
+        for i in range(EventLog.DEFAULT_CAPACITY + 10):
+            log.log(float(i), "e")
+        assert len(log) == EventLog.DEFAULT_CAPACITY + 10
 
 
 class TestWorkloadResult:

@@ -185,10 +185,12 @@ class TestRunnerEndToEnd:
         spec = registry.build("hetero_tiers", seed=2, **SMOKE)
         result = ScenarioRunner(spec).run()
         record = json.loads(result.to_json())
-        for key in ("scenario", "makespan_seconds", "sim_seconds",
-                    "events", "phases", "channel", "locality",
-                    "preemptions", "failed_jobs"):
+        for key in ("schema_version", "scenario", "makespan_seconds",
+                    "sim_seconds", "events", "phases", "channel",
+                    "locality", "preemptions", "failed_jobs",
+                    "timelines", "engine", "trace"):
             assert key in record
+        assert record["schema_version"] == 2
         assert record["scenario"] == "hetero_tiers"
         assert record["channel"]["rebalances"] > 0
         assert record["events"] > 0
@@ -222,6 +224,10 @@ class TestDeterminismGuard:
             d = dict(record)
             d.pop("wall_seconds")
             d.pop("events_per_second")
+            # Telemetry sections vary with obs settings, not the sim.
+            d.pop("timelines")
+            d.pop("engine")
+            d.pop("trace")
             d["phases"] = [{"name": p["name"],
                             "sim_seconds": p["sim_seconds"]}
                            for p in d["phases"]]
