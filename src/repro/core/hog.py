@@ -66,6 +66,27 @@ class WorkerNode:
         self.datanode.shutdown()
         self.tasktracker.shutdown()
 
+    def pause(self) -> None:
+        """Connectivity outage (site blackout without eviction): both
+        daemons stop dead — in-flight transfers abort, heartbeats cease,
+        the masters declare the node lost — but the disk and its block
+        replicas stay intact for :meth:`resume`."""
+        self.datanode.kill()
+        self.tasktracker.kill()
+
+    def resume(self) -> bool:
+        """Outage over: restart the daemons on the surviving disk.  The
+        datanode re-registers carrying its full block report (the
+        namenode reconciles it); the tasktracker rejoins empty.  Returns
+        False when the node cannot come back (disk lost meanwhile)."""
+        if not self.disk.alive:
+            return False
+        if self.datanode.state == Datanode.DEAD:
+            self.datanode.start()
+        if self.tasktracker.state == TaskTracker.DEAD:
+            self.tasktracker.start()
+        return True
+
     def __repr__(self) -> str:
         return f"<WorkerNode {self.host} @{self.site_name}>"
 
@@ -165,6 +186,11 @@ class HOGSystem:
         reg.bind_snapshot("control", self.control_plane_stats)
         reg.bind_counterset("grid", self.factory.counters, prefix="glideins")
         reg.bind_counterset("grid", self.factory.counters, prefix="preemption")
+        # The full namenode bag: recovery health (blocks_all_replicas_lost,
+        # replication_retries_deferred, replicas_trashed...) must surface
+        # in result records so the run-diff gate can flag fault metrics
+        # appearing in scenarios that should never lose data.
+        reg.bind_counterset("hdfs", self.namenode.counters)
         # Read-only gauges for the sim-time sampler (ProbeSet): every
         # reader below is a pure O(small) state read with no side effects.
         reg.gauge("running_nodes", self.factory.running_count)
@@ -178,6 +204,11 @@ class HOGSystem:
         reg.gauge("under_replicated", self.namenode.under_replicated_count)
         reg.gauge("repl_heap_depth", lambda: len(self.namenode._repl_heap))
         reg.gauge("event_heap_depth", lambda: len(self.sim._heap))
+        reg.gauge("lost_blocks", self.namenode.lost_block_count)
+        reg.gauge("deferred_replications",
+                  self.namenode.deferred_replication_count)
+        reg.gauge("invalidation_backlog",
+                  self.namenode.pending_invalidation_count)
         return reg
 
     def attach_tracer(self, tracer: Optional[Tracer]) -> None:

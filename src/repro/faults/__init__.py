@@ -1,0 +1,24 @@
+"""Declarative fault injection and runtime invariant checking.
+
+The HOG paper's claim is that MapReduce *survives* hostile grid
+conditions; this package is how the repro scripts those conditions and
+proves the survival:
+
+- :mod:`~repro.faults.plan` — :class:`FaultPlan`, a dict/JSON
+  round-trippable schedule of typed fault events (site blackout/restore
+  windows, WAN degradation/partition windows, correlated node-failure
+  waves, per-datanode disk failures, straggler windows);
+- :mod:`~repro.faults.injector` — :class:`Injector`, the sim-time
+  executor: pure simulated-clock scheduling, deterministic victim
+  selection, identical seeds → identical fault streams;
+- :mod:`~repro.faults.invariants` — :class:`InvariantChecker`, registered
+  runtime invariants evaluated on probe ticks and phase boundaries under
+  the telemetry zero-impact contract.
+"""
+
+from .injector import Injector
+from .invariants import InvariantChecker, Violation
+from .plan import FaultEvent, FaultPlan
+
+__all__ = ["FaultEvent", "FaultPlan", "Injector", "InvariantChecker",
+           "Violation"]

@@ -1,0 +1,273 @@
+"""Runtime invariant checking over a live HOG system.
+
+An :class:`InvariantChecker` evaluates a set of registered invariants —
+consistency predicates over namenode metadata, jobtracker task state,
+simulator heaps, and tracer accounting — on a sim-time cadence and/or at
+phase boundaries.  Faults are only as trustworthy as the recovery they
+exercise; the checker is what turns "the run finished" into "the run
+finished *and* the metadata reconverged".
+
+It honours the telemetry zero-impact contract exactly like
+:class:`~repro.obs.probes.ProbeSet`:
+
+- **zero-cost disabled** — nothing is constructed, no timer exists;
+- **decision-free enabled** — every invariant is a pure read over live
+  state (no mutation, no randomness), the cadence timer is a single
+  callback :class:`~repro.sim.events.Timeout` per tick counted in
+  :attr:`InvariantChecker.events_injected`, so enabling the checker can
+  never flip a simulation decision and subtracted event counts stay
+  byte-identical.
+
+Transients are respected: each invariant only asserts what must hold
+*between* engine events (the checker runs from a timer callback, never
+mid-function), e.g. a replaced-in-place tracker's orphaned attempts are
+tolerated until the monitor's safety net, but an attempt still RUNNING
+after its tracker was *declared dead* is a violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.events import Timeout
+
+__all__ = ["InvariantChecker", "Violation"]
+
+#: Stored-violation cap: everything is counted, only the first this many
+#: carry full detail (a broken invariant fires every tick; unbounded
+#: detail storage would itself violate the metadata-bounded spirit).
+MAX_STORED = 200
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure at one check point."""
+
+    #: Sim time of the check that caught it.
+    time: float
+    #: Registered invariant name.
+    invariant: str
+    #: Human-readable specifics (block id, host, sizes...).
+    detail: str
+    #: Check label ("tick", or the phase-boundary name).
+    label: str = ""
+
+
+class InvariantChecker:
+    """Evaluates registered invariants on ticks and phase boundaries."""
+
+    def __init__(self, sim: Simulator, system,
+                 interval: Optional[float] = None) -> None:
+        if interval is not None and interval <= 0:
+            raise ValueError(
+                f"invariant interval must be positive, got {interval!r}")
+        self.sim = sim
+        self.system = system
+        self.interval = interval
+        #: name → zero-arg callable returning a list of detail strings
+        #: (empty = invariant holds).
+        self._invariants: Dict[str, Callable[[], List[str]]] = {}
+        self.violations: List[Violation] = []
+        #: Total violations per invariant (beyond the stored cap too).
+        self.violation_counts: Dict[str, int] = {}
+        self.checks_run = 0
+        #: Fired cadence-timer events (one engine event each) — subtract
+        #: from ``events_processed`` for checker-invariant event counts.
+        self.events_injected = 0
+        self._running = False
+        self._register_defaults()
+
+    # -- registration ------------------------------------------------------
+    def register(self, name: str,
+                 fn: Callable[[], List[str]]) -> None:
+        """Add (or replace) an invariant.  ``fn`` must be a pure read."""
+        self._invariants[name] = fn
+
+    def _register_defaults(self) -> None:
+        self.register("needed_consistent", self._inv_needed_consistent)
+        self.register("block_map_bidirectional", self._inv_block_map)
+        self.register("lost_set_terminal", self._inv_lost_set)
+        self.register("repair_progress", self._inv_repair_progress)
+        self.register("heaps_bounded", self._inv_heaps_bounded)
+        self.register("no_orphan_attempts", self._inv_no_orphans)
+        self.register("tracer_accounting", self._inv_tracer)
+
+    # -- lifecycle (ProbeSet idiom) ----------------------------------------
+    def start(self) -> None:
+        """Run an immediate check and arm the cadence timer (if any)."""
+        if self._running:
+            return
+        self._running = True
+        self.check("start")
+        if self.interval is not None:
+            self._arm()
+
+    def stop(self) -> None:
+        """Disarm: a pending timer fires once more as a counted no-op."""
+        self._running = False
+
+    def _arm(self) -> None:
+        Timeout(self.sim, self.interval).callbacks.append(self._tick)
+
+    def _tick(self, _event) -> None:
+        self.events_injected += 1
+        if not self._running:
+            return
+        self.check("tick")
+        self._arm()
+
+    # -- checking ----------------------------------------------------------
+    def check(self, label: str = "") -> int:
+        """Evaluate every invariant now; returns new violation count."""
+        self.checks_run += 1
+        now = self.sim.now
+        found = 0
+        for name, fn in self._invariants.items():
+            for detail in fn():
+                found += 1
+                self.violation_counts[name] = \
+                    self.violation_counts.get(name, 0) + 1
+                if len(self.violations) < MAX_STORED:
+                    self.violations.append(
+                        Violation(now, name, detail, label))
+        return found
+
+    def summary(self) -> dict:
+        """JSON-ready outcome (deterministically ordered)."""
+        return {
+            "checks_run": self.checks_run,
+            "violations": sum(self.violation_counts.values()),
+            "by_invariant": dict(sorted(self.violation_counts.items())),
+            "first_violations": [
+                {"t": v.time, "invariant": v.invariant,
+                 "detail": v.detail, "label": v.label}
+                for v in self.violations[:10]],
+        }
+
+    # -- default invariants (pure reads) ------------------------------------
+    def _inv_needed_consistent(self) -> List[str]:
+        """Every under-replicated entry names a live block genuinely below
+        its target — the incremental ``_needed`` set never drifts from the
+        block map it mirrors."""
+        nn = self.system.namenode
+        out = []
+        for bid in nn._needed:
+            info = nn._blocks.get(bid)
+            if info is None:
+                out.append(f"needed block {bid} not in block map")
+            elif info.live_replica_count >= nn._replication_target(bid):
+                out.append(f"block {bid} needed but at target "
+                           f"({info.live_replica_count} replicas)")
+        return out
+
+    def _inv_block_map(self) -> List[str]:
+        """Block→host and host→block maps agree in both directions."""
+        nn = self.system.namenode
+        out = []
+        for bid, info in nn._blocks.items():
+            for host in info.replicas:
+                if bid not in nn._host_blocks.get(host, {}):
+                    out.append(f"replica {bid}@{host} missing from host map")
+        for host, bids in nn._host_blocks.items():
+            for bid in bids:
+                info = nn._blocks.get(bid)
+                if info is None or host not in info.replicas:
+                    out.append(f"host map {host} credits unknown replica {bid}")
+        return out
+
+    def _inv_lost_set(self) -> List[str]:
+        """The lost-set is terminal: zero live replicas, out of the repair
+        queue (it would otherwise hot-loop), disjoint from ``_needed``."""
+        nn = self.system.namenode
+        out = []
+        for bid in nn._lost_blocks:
+            info = nn._blocks.get(bid)
+            if info is None:
+                out.append(f"lost block {bid} not in block map")
+                continue
+            if info.live_replica_count != 0:
+                out.append(f"lost block {bid} has "
+                           f"{info.live_replica_count} replicas")
+            if bid in nn._needed:
+                out.append(f"lost block {bid} still in needed set")
+            if bid in nn._repl_prio:
+                out.append(f"lost block {bid} still in work queue")
+        return out
+
+    def _inv_repair_progress(self) -> List[str]:
+        """No under-replicated block is ever *forgotten*: while live
+        capacity suffices it must be queued, deferred on the retry
+        backoff, or covered by in-flight copies — the safety half of
+        "eventually reaches target"."""
+        nn = self.system.namenode
+        out = []
+        for bid in nn._needed:
+            if bid in nn._repl_prio or bid in nn._repl_deferred:
+                continue
+            info = nn._blocks.get(bid)
+            if info is None:
+                continue  # caught by needed_consistent
+            missing = (nn._replication_target(bid) - info.live_replica_count
+                       - len(info.pending_targets))
+            if missing > 0:
+                out.append(f"needed block {bid} unqueued, undeferred, "
+                           f"{missing} short")
+        return out
+
+    def _inv_heaps_bounded(self) -> List[str]:
+        """Lazy heaps and namenode metadata stay linear in real state —
+        generous slack, so only a genuine leak (e.g. a hot requeue loop
+        pushing every tick) trips it."""
+        nn = self.system.namenode
+        sim = self.sim
+        blocks = len(nn._blocks)
+        nodes = len(nn._nodes)
+        out = []
+        checks = [
+            ("replication work heap", len(nn._repl_heap), 8 * blocks + 64),
+            ("replication priority map", len(nn._repl_prio), blocks + 1),
+            ("deferred heap", len(nn._deferred_heap), 8 * blocks + 64),
+            ("heartbeat heap", len(nn._hb_heap), 4 * nodes + 16),
+            ("invalidation backlog", nn.pending_invalidation_count(),
+             8 * blocks + 64),
+            ("event heap", len(sim._heap), 4096 + 100 * nodes + 16 * blocks),
+        ]
+        for name, size, bound in checks:
+            if size > bound:
+                out.append(f"{name} size {size} exceeds bound {bound}")
+        return out
+
+    def _inv_no_orphans(self) -> List[str]:
+        """No attempt still RUNNING after its tracker was declared dead
+        (``_lost_tracker`` fails them synchronously).  A live tracker
+        replaced in place is a tolerated transient — the monitor's safety
+        net requeues those."""
+        jt = self.system.jobtracker
+        out = []
+        for job in jt.active_jobs():
+            for task in job.maps + job.reduces:
+                for attempt in task.running_attempts:
+                    desc = jt._trackers.get(attempt.tracker.host)
+                    if desc is None or not desc.alive:
+                        out.append(
+                            f"attempt {attempt.attempt_id} of "
+                            f"{task.type}-{job.job_id}-{task.index} runs on "
+                            f"dead tracker {attempt.tracker.host}")
+        return out
+
+    def _inv_tracer(self) -> List[str]:
+        """Tracer ring-buffer accounting is consistent: every recorded
+        span/instant is either kept or counted dropped."""
+        tracer = getattr(self.system, "tracer", None)
+        if tracer is None:
+            return []
+        stats = tracer.stats()
+        out = []
+        if stats["kept"] + stats["dropped"] != stats["recorded"]:
+            out.append(f"tracer kept {stats['kept']} + dropped "
+                       f"{stats['dropped']} != recorded {stats['recorded']}")
+        if stats["dropped"] < 0:
+            out.append(f"tracer dropped negative: {stats['dropped']}")
+        return out

@@ -91,6 +91,12 @@ class GridSite:
         self.config = config
         self._running: List = []  # Glidein objects
         self._hostname_seq = 0
+        #: Downtime-calendar flag (glideinWMS ``glideFactoryDowntimeLib``
+        #: semantics): while set, the site advertises no free slots so the
+        #: negotiator never matches new pilots here.  Running pilots are
+        #: NOT touched by the flag itself — blackout events decide whether
+        #: they are evicted or merely unreachable.
+        self.in_downtime = False
 
     @property
     def name(self) -> str:
@@ -109,7 +115,10 @@ class GridSite:
 
     @property
     def free_slots(self) -> int:
-        """Capacity not yet granted."""
+        """Capacity not yet granted (zero while the site is in a
+        scheduled downtime window)."""
+        if self.in_downtime:
+            return 0
         return max(0, self.config.capacity - len(self._running))
 
     def running_glideins(self) -> List:

@@ -61,6 +61,17 @@ class HdfsConfig:
     #: (Hadoop staggers initial reports so a mass restart does not
     #: stampede the namenode).
     block_report_initial_delay: float = 600.0
+    #: Sim-time backoff before the replication monitor reconsiders a block
+    #: it could not schedule (no live source / no eligible target / all
+    #: sources at their stream cap).  Deferred blocks are also re-armed
+    #: immediately on the next membership event (a datanode registering or
+    #: re-registering), so the backoff only bounds the retry period while
+    #: the cluster is static — e.g. a full-site blackout.
+    replication_retry_backoff: float = 30.0
+    #: Max replica invalidations dispatched to one datanode per heartbeat
+    #: (drains the namenode's invalidation queue gradually, like Hadoop's
+    #: ``dfs.block.invalidate.limit``).
+    invalidate_work_per_heartbeat: int = 32
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent settings."""
@@ -83,6 +94,10 @@ class HdfsConfig:
                 raise ValueError("block_report_interval must be positive or None")
             if self.block_report_initial_delay < 0:
                 raise ValueError("block_report_initial_delay cannot be negative")
+        if self.replication_retry_backoff <= 0:
+            raise ValueError("replication_retry_backoff must be positive")
+        if self.invalidate_work_per_heartbeat < 1:
+            raise ValueError("invalidate_work_per_heartbeat must be >= 1")
 
 
 def stock_hadoop_config(**overrides) -> HdfsConfig:

@@ -84,6 +84,25 @@ class Namenode:
         self._repl_heap: List[Tuple[int, int]] = []
         #: block id → priority of its one *live* heap entry (stale filter).
         self._repl_prio: Dict[int, int] = {}
+        #: Terminal lost-set: blocks with ZERO believed replicas.  They
+        #: leave the under-replication queue entirely (no source exists,
+        #: so scheduling work for them is a hot loop) and are resurrected
+        #: by a later ``block_received`` — e.g. a blacked-out site healing
+        #: and its datanodes re-registering with intact disks.
+        self._lost_blocks: Dict[int, None] = {}
+        #: Replication retry backoff: block id → sim time before which the
+        #: monitor will not reconsider it (set when a block could not be
+        #: scheduled: no live source, no eligible target, or every source
+        #: at its stream cap).  Entries are promoted back into the work
+        #: queue when due, or immediately on a membership event.
+        self._repl_deferred: Dict[int, float] = {}
+        #: Lazy (retry time, block id) min-heap over ``_repl_deferred``.
+        self._deferred_heap: List[Tuple[float, int]] = []
+        #: Namenode-side "trash": host → replica ids the datanode must
+        #: delete (orphaned replicas found when a re-registering node's
+        #: block report is reconciled).  Drained a bounded batch per
+        #: heartbeat (``invalidate_work_per_heartbeat``).
+        self._invalidate_queue: Dict[str, Dict[int, None]] = {}
         #: Believed-alive hosts (insertion-ordered dict as a set): an O(live)
         #: answer for placement instead of an O(all datanodes) scan per
         #: scheduled block.
@@ -178,8 +197,14 @@ class Namenode:
         heapq.heappush(self._hb_heap,
                        (self.sim.now + self.heartbeat_timeout(), host))
         self.counters.incr("datanodes_registered")
-        # A restarted node may still hold replicas from a previous life.
-        self.process_block_report(host, datanode.block_report())
+        # A restarted node may still hold replicas from a previous life;
+        # its registration report is authoritative for the host, so it is
+        # reconciled (stale believed replicas dropped, orphans trashed).
+        self.process_block_report(host, datanode.block_report(),
+                                  reconcile=True)
+        # Membership changed: blocks parked on the retry backoff may have
+        # a target (or a source) again.
+        self._rearm_deferred_replications()
 
     def heartbeat(self, datanode: Datanode) -> None:
         """Periodic datanode report.  A heartbeat from a node previously
@@ -197,7 +222,10 @@ class Namenode:
                            (self.sim.now + self.heartbeat_timeout(),
                             datanode.host))
             self.counters.incr("datanodes_reregistered")
-            self.process_block_report(datanode.host, datanode.block_report())
+            self.process_block_report(datanode.host, datanode.block_report(),
+                                      reconcile=True)
+            self._rearm_deferred_replications()
+        self._dispatch_invalidations(desc)
 
     def _declare_dead(self, desc: DatanodeDescriptor) -> None:
         """Heartbeat timeout fired: drop the node's replicas and queue
@@ -208,13 +236,17 @@ class Namenode:
         self._live_hosts.pop(host, None)
         self._live_index.discard(host)
         self.counters.incr("datanodes_declared_dead")
+        # Pending delete commands are moot — if the node ever returns, its
+        # re-registration report is reconciled and re-derives the orphans.
+        self._invalidate_queue.pop(host, None)
         for bid in list(self._host_blocks.get(host, ())):
             self._remove_replica(bid, host)
         for listener in self.dead_node_listeners:
             listener(host)
 
     # -- block map maintenance --------------------------------------------------------
-    def process_block_report(self, host: str, block_ids) -> None:
+    def process_block_report(self, host: str, block_ids,
+                             reconcile: bool = False) -> None:
         """Aggregate block report from ``host`` — sent at (re-)registration
         and then periodically (``HdfsConfig.block_report_interval``).
 
@@ -222,14 +254,33 @@ class Namenode:
         the namenode does not already credit to the host go through the
         full per-replica path — for the common re-registration (believed
         state intact) the whole report is a dictionary-lookup sweep with
-        no bookkeeping writes."""
+        no bookkeeping writes.
+
+        ``reconcile=True`` (the **(re-)registration** path only) treats
+        the report as authoritative for the host: replicas it carries for
+        files that no longer exist are queued for deletion (the namenode
+        "trash" — drained over subsequent heartbeats), and believed
+        replicas the report does NOT carry are dropped.  Periodic reports
+        stay additive-only on purpose — a §IV-D1 zombie keeps sending
+        *empty* reports, and reconciling those would clear its believed
+        replicas and silently repair the availability bug this repo
+        exists to model."""
         self.counters.incr("block_reports")
         believed = self._host_blocks.setdefault(host, {})
         blocks = self._blocks
         carried = 0
         new = []
+        reported: Optional[Dict[int, None]] = {} if reconcile else None
         for bid in block_ids:
             carried += 1
+            if reported is not None:
+                reported[bid] = None
+                if bid not in blocks:
+                    # Orphaned replica: its file was deleted while the
+                    # node was unreachable.  Tell the node to free it.
+                    self._queue_invalidation(host, bid)
+                    self.counters.incr("orphan_replicas_found")
+                    continue
             if bid not in believed and bid in blocks:
                 new.append(bid)
         # ``block_report_blocks`` counts replicas *carried* by reports (the
@@ -237,6 +288,14 @@ class Namenode:
         # registration reports from empty nodes contribute nothing, but
         # the periodic reports from loaded nodes dominate it.
         self.counters.incr("block_report_blocks", carried)
+        if reported is not None and len(reported) < len(believed):
+            # Stale believed replicas (credited to the host, absent from
+            # its authoritative report): drop them so the block map
+            # matches reality and repair can start.
+            stale = [bid for bid in believed if bid not in reported]
+            self.counters.incr("stale_replicas_reconciled", len(stale))
+            for bid in stale:
+                self._remove_replica(bid, host)
         for bid in new:
             self.block_received(bid, host)
 
@@ -249,6 +308,16 @@ class Namenode:
         info.pending_targets.pop(host, None)
         self._host_blocks.setdefault(host, {})[block_id] = None
         target = self._replication_target(block_id)
+        # Membership test, not ``pop(..., None)``: the dict-as-set stores
+        # None values, which would alias the missing-key sentinel.
+        if block_id in self._lost_blocks:
+            del self._lost_blocks[block_id]
+            # Resurrection: a replica of a lost block resurfaced (a healed
+            # site's datanode re-registered with its disk intact).  The
+            # block rejoins the normal repair pipeline.
+            self.counters.incr("blocks_resurrected")
+            if info.live_replica_count < target:
+                self._needed[block_id] = None
         if info.live_replica_count >= target:
             self._needed.pop(block_id, None)
         elif block_id in self._needed:
@@ -264,11 +333,18 @@ class Namenode:
             return
         info.replicas.pop(host, None)
         self._host_blocks.get(host, {}).pop(block_id, None)
-        if info.live_replica_count < self._replication_target(block_id):
+        if info.live_replica_count == 0:
+            # Terminal (for now): no live source exists, so the block
+            # leaves the work queue entirely instead of being rescheduled
+            # forever.  A later ``block_received`` resurrects it.
+            self.counters.incr("blocks_all_replicas_lost")
+            self._needed.pop(block_id, None)
+            self._repl_prio.pop(block_id, None)  # heap entry goes stale
+            self._repl_deferred.pop(block_id, None)
+            self._lost_blocks[block_id] = None
+        elif info.live_replica_count < self._replication_target(block_id):
             self._needed[block_id] = None
             self._queue_replication(block_id, info)
-        if info.live_replica_count == 0:
-            self.counters.incr("blocks_all_replicas_lost")
 
     def _queue_replication(self, block_id: int,
                            info: Optional[BlockInfo] = None) -> None:
@@ -280,12 +356,82 @@ class Namenode:
         prio = info.live_replica_count
         self._repl_prio[block_id] = prio
         heapq.heappush(self._repl_heap, (prio, block_id))
+        # An explicit re-queue supersedes any retry backoff in force.
+        self._repl_deferred.pop(block_id, None)
+
+    def _defer_replication(self, block_id: int) -> None:
+        """Park an unschedulable block on the retry backoff.
+
+        Without this, a block with no eligible target (e.g. every
+        off-site node down during a full-site blackout) is popped and
+        re-pushed by EVERY monitor tick — a deterministic hot requeue
+        loop.  Deferred blocks re-arm after ``replication_retry_backoff``
+        sim-seconds, or immediately when membership changes."""
+        until = self.sim.now + self.config.replication_retry_backoff
+        self._repl_deferred[block_id] = until
+        heapq.heappush(self._deferred_heap, (until, block_id))
+        self.counters.incr("replication_retries_deferred")
+
+    def _promote_deferred_replications(self) -> None:
+        """Move due backoff entries back into the work queue (lazy heap:
+        entries invalidated by a later re-queue or defer are skipped)."""
+        heap = self._deferred_heap
+        now = self.sim.now
+        while heap and heap[0][0] <= now:
+            until, bid = heapq.heappop(heap)
+            if self._repl_deferred.get(bid) != until:
+                continue  # stale (re-queued, re-deferred, or resolved)
+            del self._repl_deferred[bid]
+            if bid in self._needed:
+                self._queue_replication(bid)
+
+    def _rearm_deferred_replications(self) -> None:
+        """Membership event (a datanode (re-)registered): every deferred
+        block may have a target or source again — retry now instead of
+        waiting out the backoff."""
+        if not self._repl_deferred:
+            return
+        for bid in list(self._repl_deferred):
+            if bid in self._needed:
+                self._queue_replication(bid)  # also clears the deferral
+            else:
+                del self._repl_deferred[bid]
+        # Heap entries are now all stale; drop them wholesale.
+        self._deferred_heap.clear()
+
+    # -- invalidation queue (the namenode "trash") ---------------------------------
+    def _queue_invalidation(self, host: str, block_id: int) -> None:
+        self._invalidate_queue.setdefault(host, {})[block_id] = None
+
+    def _dispatch_invalidations(self, desc: DatanodeDescriptor) -> None:
+        """Piggyback up to ``invalidate_work_per_heartbeat`` delete
+        commands on a heartbeat response (Hadoop's bounded
+        ``dfs.block.invalidate.limit`` drain)."""
+        queue = self._invalidate_queue.get(desc.host)
+        if not queue:
+            return
+        batch = list(queue)[:self.config.invalidate_work_per_heartbeat]
+        for bid in batch:
+            del queue[bid]
+            desc.datanode.remove_block(bid)
+        self.counters.incr("replicas_trashed", len(batch))
+        if not queue:
+            del self._invalidate_queue[desc.host]
 
     def report_bad_replica(self, block_id: int, host: str) -> None:
         """A client failed to read ``block_id`` from ``host``: drop that
-        replica and let the replication monitor repair."""
+        replica and let the replication monitor repair.  The corrupt copy
+        is also queued for deletion on the datanode — without that, the
+        host's next block report would re-credit the bad replica and
+        silently cancel the repair."""
         self.counters.incr("bad_replica_reports")
         self._remove_replica(block_id, host)
+        desc = self._nodes.get(host)
+        if desc is not None and desc.alive:
+            self._queue_invalidation(host, block_id)
+
+    #: Hadoop-flavoured alias (``DFSClient.reportBadBlocks`` path).
+    note_read_failure = report_bad_replica
 
     def _invalidate_excess(self, info: BlockInfo, target: int) -> None:
         """Remove replicas beyond the target.  A balancer-designated source
@@ -323,13 +469,18 @@ class Namenode:
         A block leaves the queue once its missing count is covered by
         in-flight copies — the replica events that change that coverage
         (``block_received``, replication failure, another death) re-queue
-        it, so an idle tick with a deep-but-covered backlog does nothing."""
+        it.  Blocks that cannot be scheduled at all (no live source, no
+        eligible target, every source at its stream cap) go to the retry
+        backoff instead of straight back into the queue, so a cluster
+        with nowhere to repair to does not spin the monitor."""
+        self._promote_deferred_replications()
         heap = self._repl_heap
         if not heap:
             return
         live = self._live_hosts  # iterated, never copied
         scheduled = 0
         blocked: List[int] = []
+        retry: List[int] = []
         while heap and scheduled < work_limit:
             prio, bid = heapq.heappop(heap)
             if self._repl_prio.get(bid) != prio:
@@ -347,7 +498,7 @@ class Namenode:
                 continue  # covered by in-flight copies; events re-queue
             sources = [h for h in info.replicas if self._is_usable_source(h)]
             if not sources:
-                blocked.append(bid)  # no live source (yet) — retry next tick
+                blocked.append(bid)  # no live source — back off
                 continue
             size = info.block.size
             targets = self.placement.choose_targets(
@@ -355,22 +506,32 @@ class Namenode:
                 live, lambda h: self._can_host_store(h, size),
                 site_index=self._live_index)
             launched = 0
+            capped = False
             for tgt in targets:
                 # Tie-break by hostname so the choice never depends on
                 # replica-map iteration order.
                 src = min(sources, key=lambda h: (
                     self._nodes[h].datanode.active_repl_streams, h))
                 if self._nodes[src].datanode.active_repl_streams >= self.config.max_replication_streams:
+                    capped = True  # per-source stream throttle hit
                     break
                 info.pending_targets[tgt] = None
                 self.sim.process(self._replicate(info, src, tgt),
                                  name=f"nn-repl:{bid}->{tgt}")
                 scheduled += 1
                 launched += 1
-            if launched < missing:
-                blocked.append(bid)  # short on targets/streams — retry
-        for bid in blocked:
+            if launched == 0 and not capped:
+                blocked.append(bid)  # no eligible target — back off
+            elif launched < missing:
+                # Partial progress, or sources merely busy: streams drain
+                # between ticks, so the fast retry path stays.  Re-queued
+                # AFTER the loop — pushing into the heap being drained
+                # would pop the same capped block again this tick, forever.
+                retry.append(bid)
+        for bid in retry:
             self._queue_replication(bid)
+        for bid in blocked:
+            self._defer_replication(bid)
 
     def _replicate(self, info: BlockInfo, source: str, target: str):
         """Copy one replica source→target; bookkeeping on either outcome."""
@@ -444,8 +605,22 @@ class Namenode:
         return self._blocks[block_id]
 
     def under_replicated_count(self) -> int:
-        """Blocks currently below their replication target."""
+        """Blocks currently below their replication target (repairable —
+        the terminal lost-set is tracked separately)."""
         return len(self._needed)
+
+    def lost_block_count(self) -> int:
+        """Blocks in the terminal lost-set (zero believed replicas after
+        having had at least one); O(1)."""
+        return len(self._lost_blocks)
+
+    def deferred_replication_count(self) -> int:
+        """Blocks parked on the replication retry backoff."""
+        return len(self._repl_deferred)
+
+    def pending_invalidation_count(self) -> int:
+        """Replica delete commands queued but not yet dispatched."""
+        return sum(len(q) for q in self._invalidate_queue.values())
 
     def missing_block_count(self) -> int:
         """Blocks with zero believed replicas."""
@@ -505,6 +680,8 @@ class Namenode:
             self._block_file.pop(block.block_id, None)
             self._needed.pop(block.block_id, None)
             self._repl_prio.pop(block.block_id, None)
+            self._lost_blocks.pop(block.block_id, None)
+            self._repl_deferred.pop(block.block_id, None)
             if info is None:
                 continue
             for host in list(info.replicas):

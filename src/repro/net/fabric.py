@@ -144,6 +144,15 @@ class NetworkFabric:
         self.sim = sim
         self.topology = topology
         self.config = config
+        #: Runtime mirror of ``config.site_uplink_overrides`` — fault
+        #: injection retunes uplinks through :meth:`set_site_uplink`
+        #: without mutating the (possibly shared/serialized) config.
+        self._uplink_overrides: Dict[str, float] = dict(
+            config.site_uplink_overrides)
+        #: Sites whose WAN uplink is currently partitioned (insertion-
+        #: ordered dict as a set): cross-site transfers touching one fail
+        #: fast instead of queueing on a dead link.
+        self._partitioned_sites: Dict[str, None] = {}
         #: The shared max-min drain engine.  Disks created with
         #: ``channel=fabric.channel`` participate in joint allocations.
         self.channel = channel or FairQueue(sim)
@@ -193,11 +202,87 @@ class NetworkFabric:
         table = self._site_tx if direction == "tx" else self._site_rx
         link = table.get(site)
         if link is None:
-            capacity = self.config.site_uplink_overrides.get(
+            capacity = self._uplink_overrides.get(
                 site, self.config.site_uplink_bandwidth)
             link = Link(f"wan-{direction}:{site}", capacity, partition=site)
             table[site] = link
         return link
+
+    def set_site_uplink(self, site: str, bandwidth: Optional[float],
+                        abort_active: bool = False) -> int:
+        """Retune a site's WAN uplink capacity *live* (fault injection).
+
+        ``bandwidth`` is the new uplink capacity in bytes/s; ``None``
+        restores the config's setting for the site.  New transfers see
+        the new capacity immediately (the old ``Link`` objects are
+        retired and the path cache reset); flows already in the fluid
+        phase keep the reservation they were rated with — model-wise, an
+        established stream rides out a routing change — unless
+        ``abort_active`` is set, which fails them with
+        :class:`TransferFailed` (their owners' retry paths take over).
+        Returns the number of aborted flows."""
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError("uplink bandwidth must be positive or None")
+        if bandwidth is None:
+            self._uplink_overrides.pop(site, None)
+            base = self.config.site_uplink_overrides.get(site)
+            if base is not None:
+                self._uplink_overrides[site] = base
+        else:
+            self._uplink_overrides[site] = float(bandwidth)
+        aborted = 0
+        for table in (self._site_tx, self._site_rx):
+            old = table.pop(site, None)
+            if old is not None and abort_active:
+                aborted += self.channel.abort_constraint(
+                    old, TransferFailed(
+                        f"wan uplink of {site} reconfigured"))
+        self._path_cache.clear()
+        return aborted
+
+    def partition_site(self, site: str) -> int:
+        """WAN-partition ``site``: every in-flight cross-site transfer
+        touching it fails now, and new ones fail fast until
+        :meth:`heal_site`.  Intra-site traffic (and the direct-call
+        control plane — heartbeats are modelled out-of-band) continues.
+        Returns the number of aborted transfers."""
+        self._partitioned_sites[site] = None
+        aborted = 0
+        # Fluid-phase flows cross the site's WAN legs, so the uplink
+        # constraints name them all.
+        for table in (self._site_tx, self._site_rx):
+            old = table.pop(site, None)
+            if old is not None:
+                aborted += self.channel.abort_constraint(
+                    old, TransferFailed(f"site {site} partitioned"))
+        # Setup-phase transfers are not on constraints yet: sweep the
+        # pending index for cross-site ones touching the site.
+        pending: Dict[Flow, None] = {}
+        for bucket in self._pending_by_host.values():
+            for flow in bucket:
+                pending[flow] = None
+        for flow in list(pending):
+            if self.topology.same_site(flow.src, flow.dst):
+                continue
+            if site not in (self.topology.site_of(flow.src),
+                            self.topology.site_of(flow.dst)):
+                continue
+            self._unindex_pending(flow)
+            if not flow.done.triggered:
+                flow.done.fail(TransferFailed(
+                    f"site {site} partitioned while setting up {flow!r}"))
+                flow.done.defused()
+                aborted += 1
+        self._path_cache.clear()
+        return aborted
+
+    def heal_site(self, site: str) -> None:
+        """End a WAN partition started by :meth:`partition_site`."""
+        self._partitioned_sites.pop(site, None)
+
+    def site_partitioned(self, site: str) -> bool:
+        """True while ``site`` is WAN-partitioned."""
+        return site in self._partitioned_sites
 
     def _path(self, src: str, dst: str) -> Tuple[List[Link], bool]:
         """Links for a src→dst flow and whether it stays inside one site.
@@ -267,6 +352,20 @@ class NetworkFabric:
             return done
 
         links, same = self._path(src, dst)
+        if not same and self._partitioned_sites and (
+                self.topology.site_of(src) in self._partitioned_sites
+                or self.topology.site_of(dst) in self._partitioned_sites):
+            # Cross-site stream into a partitioned site: fail fast (after
+            # the would-be connection setup) so callers' retry paths run
+            # instead of the flow stalling on a dead link forever.
+            def refuse(_ev: Event) -> None:
+                if not done.triggered:
+                    done.fail(TransferFailed(
+                        f"wan partition blocks {src}->{dst}"))
+                    done.defused()
+            self.sim.timeout(self._setup_delay(src, dst)).callbacks.append(
+                refuse)
+            return done
         if same:
             self.bytes_intra_site += nbytes
         else:

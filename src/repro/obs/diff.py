@@ -16,7 +16,12 @@ reported as informational drift:
 - **behaviour** (``makespan_seconds`` / ``workload_response_seconds``,
   ``failed_jobs``): any change beyond ``behaviour_tolerance`` flags,
   in *either* direction — a simulation-determined value moving means
-  the model changed, which a perf PR must own explicitly.
+  the model changed, which a perf PR must own explicitly;
+- **fault metrics** (``blocks_all_replicas_lost``,
+  ``lost_blocks_final``, ``under_replicated_final``...): recovery-health
+  leaves that are zero in a converged run.  Any *increase* flags —
+  in particular data loss appearing in a scenario whose baseline never
+  lost a block is always a regression, with no tolerance knob.
 
 Consumers: ``python -m repro.obs.inspect --diff`` and
 ``benchmarks/bench_scale_sweep.py --check-against`` (the CI gate).
@@ -37,6 +42,12 @@ _FAST_PATH_KEYS = ("arrival_fast_paths", "departure_fast_paths",
 #: only under the loose wall tolerance.
 _WALL_SUFFIXES = ("wall_seconds",)
 _BEHAVIOUR_SUFFIXES = ("makespan_seconds", "workload_response_seconds")
+#: Recovery-health leaves: zero in any converged fault-free run, so any
+#: increase is a correctness regression — flagged unconditionally, and a
+#: key appearing only on the new side is compared against implicit zero.
+_FAULT_SUFFIXES = ("blocks_all_replicas_lost", "lost_blocks_final",
+                   "under_replicated_final", "deferred_final",
+                   "invalidation_backlog_final", "invariant_violations")
 
 
 @dataclass
@@ -126,6 +137,10 @@ def fast_path_rate(flat: Dict[str, float], prefix: str = "") -> Optional[float]:
 def _classify(key: str, old: float, new: float, t: Thresholds) -> Optional[str]:
     """The regression rule (or None) for one changed value."""
     leaf = key.rsplit(".", 1)[-1]
+    if leaf in _FAULT_SUFFIXES:
+        if new > old:
+            return "fault metric increased (recovery regression)"
+        return None
     if leaf in _WALL_SUFFIXES:
         if old > 0 and new > old * (1.0 + t.wall_tolerance):
             return f"wall regression (> +{t.wall_tolerance:.0%})"
@@ -161,7 +176,13 @@ def diff_records(old: dict, new: dict,
         if a == b:
             continue
         if a is None or b is None:
-            entries.append(DiffEntry(prefix + key, a, b))
+            # A fault metric materialising on the new side (old record
+            # predates the counter, or the scenario never trashed a
+            # replica before) is still data loss: compare against zero.
+            flag = None
+            if key.rsplit(".", 1)[-1] in _FAULT_SUFFIXES and (b or 0) > (a or 0):
+                flag = "fault metric increased (recovery regression)"
+            entries.append(DiffEntry(prefix + key, a, b, flag=flag))
             continue
         if a != 0 and abs(b - a) / abs(a) < t.noise_floor:
             continue

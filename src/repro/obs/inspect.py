@@ -34,8 +34,9 @@ from .diff import Thresholds, diff_reports
 __all__ = ["main"]
 
 #: ScenarioResult sections rendered as counter tables, in display order.
-_COUNTER_SECTIONS = ("channel", "control", "locality", "preemptions",
-                     "balancer", "engine", "trace")
+_COUNTER_SECTIONS = ("channel", "control", "hdfs", "locality",
+                     "preemptions", "balancer", "faults", "invariants",
+                     "engine", "trace")
 
 
 def _fmt_value(value) -> str:

@@ -30,6 +30,15 @@ Built-ins
 ``churn_heavy``
     Pinned diurnal preemption waves (a deterministic trace) sweeping
     site after site, on top of mild background churn.
+``blackout``
+    A full-site connectivity blackout mid-workload that heals before the
+    run ends: the namenode re-replicates around the dark site, then the
+    returning datanodes re-register with intact disks and the block map
+    reconciles back to steady state (the long-horizon recovery scenario).
+``flaky_wan``
+    Degraded and partitioned WAN windows plus straggler nodes: uplinks
+    run at a fraction of capacity, one site drops off the WAN entirely
+    for a stretch, slow nodes drag the tail.
 """
 
 from __future__ import annotations
@@ -38,11 +47,12 @@ from dataclasses import replace
 from typing import Callable, Dict, List, Optional
 
 from ..core.config import NodeConfig
+from ..faults.plan import FaultEvent, FaultPlan
 from ..grid.preemption import PreemptionEvent, PreemptionTrace
 from ..grid.site import PAPER_SITE_DOMAINS, PAPER_SITE_NAMES, SitePolicy
 from ..hdfs.config import GB
 from . import calibration
-from .spec import ClusterSpec, FaultSpec, ScenarioSpec, WorkloadSpec
+from .spec import ClusterSpec, FaultSpec, ObsSpec, ScenarioSpec, WorkloadSpec
 
 __all__ = ["register", "names", "describe", "build", "ScenarioBuilder"]
 
@@ -245,5 +255,69 @@ def churn_heavy(n_nodes: Optional[int] = None,
         workload=WorkloadSpec(scale=scale or 1.0),
         faults=FaultSpec(policy=calibration.stable_policy(),
                          trace=diurnal_trace(n)),
+        seed=seed,
+    )
+
+
+@register("blackout")
+def blackout(n_nodes: Optional[int] = None, scale: Optional[float] = None,
+             seed: int = 0) -> ScenarioSpec:
+    """Full-site blackout that heals: long-horizon HDFS recovery."""
+    n = n_nodes or 40
+    plan = FaultPlan([
+        # One site goes dark mid-workload (connectivity outage: daemons
+        # stop, disks intact).  The namenode declares the nodes dead,
+        # re-replicates around the hole; when the site heals, every node
+        # re-registers with its full block report and the reconciliation
+        # path trashes the now-excess replicas.
+        FaultEvent(time=300.0, kind="site_blackout",
+                   site=PAPER_SITE_NAMES[2], duration=450.0, mode="outage"),
+    ])
+    return ScenarioSpec(
+        name="blackout",
+        description="A full-site connectivity blackout heals mid-run: "
+                    "re-replication storms around the dark site, then "
+                    "re-registration block reports reconcile the block "
+                    "map back to pre-fault steady state (asserted by the "
+                    "settle phase's convergence finals).",
+        cluster=ClusterSpec(n_nodes=n),
+        workload=WorkloadSpec(scale=scale or 0.25),
+        faults=FaultSpec(plan=plan),
+        obs=ObsSpec(check_invariants=True),
+        seed=seed,
+    )
+
+
+@register("flaky_wan")
+def flaky_wan(n_nodes: Optional[int] = None, scale: Optional[float] = None,
+              seed: int = 0) -> ScenarioSpec:
+    """Degraded/partitioned WAN windows with stragglers and disk loss."""
+    n = n_nodes or 40
+    plan = FaultPlan([
+        FaultEvent(time=120.0, kind="wan_degrade",
+                   site=PAPER_SITE_NAMES[0], duration=600.0, value=0.15),
+        FaultEvent(time=200.0, kind="straggler",
+                   site=PAPER_SITE_NAMES[1], duration=700.0, count=3,
+                   value=4.0),
+        FaultEvent(time=300.0, kind="wan_degrade",
+                   site=PAPER_SITE_NAMES[3], duration=450.0, value=0.25),
+        # The hard window: one site drops off the WAN entirely — live
+        # cross-site transfers abort, new ones fail fast for the duration.
+        FaultEvent(time=600.0, kind="wan_degrade",
+                   site=PAPER_SITE_NAMES[2], duration=240.0,
+                   mode="partition"),
+        FaultEvent(time=900.0, kind="disk_fail",
+                   site=PAPER_SITE_NAMES[4], count=2),
+    ])
+    return ScenarioSpec(
+        name="flaky_wan",
+        description="Uplinks run at 15-25% capacity in overlapping "
+                    "windows, one site is WAN-partitioned outright, "
+                    "straggler nodes drag the tail, and two disks die "
+                    "under their datanodes — the hostile-WAN regime.",
+        cluster=ClusterSpec(n_nodes=n),
+        workload=WorkloadSpec(scale=scale or 0.25),
+        faults=FaultSpec(plan=plan),
+        obs=ObsSpec(check_invariants=True),
         seed=seed,
     )

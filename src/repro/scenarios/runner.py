@@ -32,6 +32,8 @@ import numpy as np
 
 from ..core.config import HOGConfig
 from ..core.hog import HOGSystem
+from ..faults.injector import Injector
+from ..faults.invariants import InvariantChecker
 from ..grid.glidein import WrapperConfig
 from ..grid.preemption import TraceDriver
 from ..grid.site import SitePolicy, sites_with_policy
@@ -136,8 +138,9 @@ class ScenarioResult:
 
     #: Result-record schema version (bump on key layout changes so the
     #: obs diff tooling can evolve safely).  v2 added the registry-fed
-    #: sections, per-phase timelines, and the engine profile.
-    SCHEMA_VERSION = 2
+    #: sections, per-phase timelines, and the engine profile; v3 the
+    #: fault-injection section and the obs-only invariant roll-up.
+    SCHEMA_VERSION = 3
 
     scenario: str
     nodes: int
@@ -157,6 +160,13 @@ class ScenarioResult:
     #: namenode block-report aggregates) — the delta-driven path's cost
     #: (the registry's ``control`` namespace).
     control: Dict[str, int] = field(default_factory=dict)
+    #: The namenode's full counter bag (the registry's ``hdfs``
+    #: namespace).  Recovery-health leaves (``blocks_all_replicas_lost``,
+    #: ``replication_retries_deferred``, ``replicas_trashed``...) surface
+    #: in EVERY record — fault scenario or not — so the run-diff gate can
+    #: flag a fault metric appearing in a scenario that should never lose
+    #: data.
+    hdfs: Dict[str, int] = field(default_factory=dict)
     #: Map-launch locality histogram summed over jobs.
     locality: Dict[str, int] = field(default_factory=dict)
     #: Glidein provisioning/preemption counters (the registry's ``grid``
@@ -168,6 +178,11 @@ class ScenarioResult:
     node_area: Optional[float] = None
     #: Concurrent-balancer outcome, when the scenario ran one.
     balancer: Optional[Dict[str, object]] = None
+    #: Fault-injection outcome when the scenario scheduled a
+    #: :class:`~repro.faults.plan.FaultPlan`: injector counters plus the
+    #: post-settle recovery convergence finals.  Simulation-determined,
+    #: so it IS part of :meth:`payload`.
+    faults: Optional[Dict[str, object]] = None
     #: Per-phase gauge timelines ``{phase: {gauge: {"t": [...],
     #: "v": [...]}}}`` when probes were enabled; presence varies with the
     #: sampling cadence, so the section is NOT part of :meth:`payload`.
@@ -176,6 +191,10 @@ class ScenarioResult:
     engine: Optional[dict] = None
     #: Tracer roll-up (recorded/kept/dropped, per-category); obs-only.
     trace: Optional[dict] = None
+    #: Invariant-checker roll-up (checks run, violations by invariant);
+    #: obs-only — stripped from :meth:`payload` so the checker being
+    #: on/off cannot change the determinism payload.
+    invariants: Optional[dict] = None
 
     @property
     def events_per_second(self) -> Optional[int]:
@@ -200,6 +219,7 @@ class ScenarioResult:
             "phases": [p.to_dict() for p in self.phases],
             "channel": dict(self.channel),
             "control": dict(self.control),
+            "hdfs": dict(self.hdfs),
             "locality": dict(self.locality),
             "preemptions": dict(self.preemptions),
             "failed_jobs": self.failed_jobs,
@@ -207,9 +227,11 @@ class ScenarioResult:
             "node_area": (None if self.node_area is None
                           else round(self.node_area, 1)),
             "balancer": self.balancer,
+            "faults": self.faults,
             "timelines": self.timelines,
             "engine": self.engine,
             "trace": self.trace,
+            "invariants": self.invariants,
         }
 
     def payload(self) -> dict:
@@ -227,6 +249,7 @@ class ScenarioResult:
         d.pop("timelines")
         d.pop("engine")
         d.pop("trace")
+        d.pop("invariants")
         d["phases"] = [{"name": p["name"], "sim_seconds": p["sim_seconds"]}
                        for p in d["phases"]]
         return d
@@ -265,6 +288,11 @@ class ScenarioRunner:
         #: consumers export Chrome trace JSON via ``runner.tracer.write()``.
         self.tracer: Optional[Tracer] = None
         self.probes: Optional[ProbeSet] = None
+        #: Live fault injector after :meth:`run` when the spec had a plan.
+        self.injector: Optional[Injector] = None
+        #: Live invariant checker when ``spec.obs.check_invariants`` was
+        #: set (or an ``invariant_interval`` given).
+        self.checker: Optional[InvariantChecker] = None
 
     # -- construction ------------------------------------------------------
     def build_config(self) -> HOGConfig:
@@ -274,9 +302,9 @@ class ScenarioRunner:
         c = spec.cluster
         policy = spec.faults.policy
         if policy is None:
-            if spec.faults.trace is not None:
-                # A pinned trace with no stochastic policy: churn-free
-                # sites, the trace is the only preemption source.
+            if spec.faults.trace is not None or spec.faults.plan is not None:
+                # A pinned trace/plan with no stochastic policy: churn-free
+                # sites, the pinned events are the only fault source.
                 policy = SitePolicy()
             else:
                 policy = calibration.default_grid_policy()
@@ -333,6 +361,10 @@ class ScenarioRunner:
             self.probes = ProbeSet(sim, hog.registry.gauges(),
                                    obs.sample_interval)
             self.probes.start()
+        if obs.check_invariants or obs.invariant_interval is not None:
+            self.checker = InvariantChecker(sim, hog,
+                                            interval=obs.invariant_interval)
+            self.checker.start()
 
         phases: List[PhaseStat] = []
         #: (name, sim start, sim end) per phase, for timeline slicing.
@@ -343,6 +375,8 @@ class ScenarioRunner:
             phases.append(PhaseStat(name, time.perf_counter() - t0,
                                     sim.now - s0))
             phase_bounds.append((name, s0, sim.now))
+            if self.checker is not None:
+                self.checker.check(name)
 
         # 1. Ramp: wait for the node target (§IV-A).
         t0, s0 = time.perf_counter(), sim.now
@@ -351,11 +385,16 @@ class ScenarioRunner:
         hog.run_until_nodes(ramp_target, timeout=spec.timeout)
         phase("ramp", t0, s0)
 
-        # 2. Pinned fault replay starts once the cluster is up.
+        # 2. Pinned fault replay starts once the cluster is up: the
+        # preemption trace and the typed fault plan arm at the same
+        # instant, so their event times share one origin.
         driver: Optional[TraceDriver] = None
         if spec.faults.trace is not None:
             driver = TraceDriver(sim, hog.factory, spec.faults.trace)
             driver.start()
+        if spec.faults.plan is not None:
+            self.injector = Injector(sim, hog, spec.faults.plan)
+            self.injector.start()
 
         # 3. Preload the workload inputs (the §IV-A data upload).
         t0, s0 = time.perf_counter(), sim.now
@@ -387,7 +426,15 @@ class ScenarioRunner:
         end = sim.now
         phase("workload", t0, s0)
 
-        # 7. Drain the balancer if it is still moving blocks.
+        # 7. Settle: after a fault plan, keep the clock running until
+        # recovery converges (every repairable block back at target, the
+        # trash queue drained) — the long-horizon correctness window.
+        if self.injector is not None:
+            t0, s0 = time.perf_counter(), sim.now
+            self._settle(sim, hog, spec.timeout)
+            phase("settle", t0, s0)
+
+        # 8. Drain the balancer if it is still moving blocks.
         balancer_info: Optional[Dict[str, object]] = None
         if balance_ev is not None:
             if not balance_ev.triggered:
@@ -406,6 +453,22 @@ class ScenarioRunner:
             else:
                 balancer_info = {"completed": False}
 
+        faults_info: Optional[Dict[str, object]] = None
+        if self.injector is not None:
+            nn = hog.namenode
+            faults_info = {
+                "injected": self.injector.summary(),
+                "convergence": {
+                    "under_replicated_final": nn.under_replicated_count(),
+                    "lost_blocks_final": nn.lost_block_count(),
+                    "deferred_final": nn.deferred_replication_count(),
+                    "invalidation_backlog_final":
+                        nn.pending_invalidation_count(),
+                    "block_map_size": nn.total_block_count(),
+                    "repl_heap_final": len(nn._repl_heap),
+                },
+            }
+
         wall = time.perf_counter() - wall_start
         self.workload = collect_result(
             "HOG", c.n_nodes, jobs, start, end, hog.believed_series,
@@ -419,11 +482,14 @@ class ScenarioRunner:
         preempt = snap["grid"]
         if driver is not None:
             preempt["trace_events_skipped"] = driver.skipped
-        # Fired probe ticks are engine events too; subtract them so the
-        # reported event count is identical at any sampling cadence.
+        # Fired probe/checker ticks are engine events too; subtract them
+        # so the reported event count is identical at any cadence.
         events = sim.events_processed
         if self.probes is not None:
             events -= self.probes.events_injected
+        if self.checker is not None:
+            self.checker.stop()
+            events -= self.checker.events_injected
 
         self.result = ScenarioResult(
             scenario=spec.name,
@@ -437,6 +503,7 @@ class ScenarioRunner:
             phases=phases,
             channel=snap["channel"],
             control=snap["control"],
+            hdfs=snap["hdfs"],
             locality=self.workload.locality,
             preemptions=preempt,
             failed_jobs=self.workload.failed_jobs,
@@ -444,12 +511,44 @@ class ScenarioRunner:
                                self.workload.bin_responses.values()),
             node_area=self.workload.node_area,
             balancer=balancer_info,
+            faults=faults_info,
             timelines=self._phase_timelines(phase_bounds),
             engine=(sim.profile.as_dict() if sim.profile is not None
                     else None),
             trace=(self.tracer.stats() if self.tracer is not None else None),
+            invariants=(self.checker.summary() if self.checker is not None
+                        else None),
         )
         return self.result
+
+    def _settle(self, sim: Simulator, hog: HOGSystem,
+                timeout: float) -> None:
+        """Advance until HDFS recovery converges (or wedges stably).
+
+        Converged: nothing under-replicated, nothing deferred, the trash
+        queue drained — the block map is back at steady state.  A cluster
+        that genuinely cannot repair (capacity lost for good) reaches a
+        *stable* non-converged state instead; the loop exits once the
+        recovery gauges stop changing, and the result's ``faults``
+        section records the finals either way."""
+        nn = hog.namenode
+        period = hog.config.hdfs.replication_monitor_period
+        deadline = sim.now + timeout
+        last = None
+        stable = 0
+        while sim.now < deadline:
+            state = (nn.under_replicated_count(),
+                     nn.deferred_replication_count(),
+                     nn.pending_invalidation_count(),
+                     nn.lost_block_count())
+            if state[0] == 0 and state[1] == 0 and state[2] == 0:
+                return
+            stable = stable + 1 if state == last else 0
+            last = state
+            # ~3 backoff windows with no movement on any gauge = wedged.
+            if stable * period > 3 * hog.config.hdfs.replication_retry_backoff:
+                return
+            sim.run(until=sim.now + period)
 
     def _phase_timelines(self, phase_bounds: List[tuple]
                          ) -> Optional[Dict[str, dict]]:

@@ -24,6 +24,7 @@ import json
 from typing import Dict, List, Optional
 
 from ..core.config import NodeConfig
+from ..faults.plan import FaultPlan
 from ..grid.glidein import WrapperConfig
 from ..grid.preemption import PreemptionEvent, PreemptionTrace
 from ..grid.site import SitePolicy
@@ -192,27 +193,37 @@ class FaultSpec:
     """How the grid misbehaves.
 
     ``policy`` drives stochastic preemption; ``trace`` pins every
-    preemption to a time and site (replayed from the instant the cluster
-    finishes ramping).  When a trace is given and no policy, the runner
-    uses a churn-free policy so the trace is the *only* preemption source.
+    preemption to a time and site; ``plan`` schedules typed fault events
+    (site blackouts, WAN degradation/partitions, failure waves, disk
+    failures, stragglers — see :mod:`repro.faults.plan`).  Both pinned
+    forms replay from the instant the cluster finishes ramping.  When a
+    trace or plan is given and no policy, the runner uses a churn-free
+    policy so the pinned events are the *only* fault source.
     """
 
     policy: Optional[SitePolicy] = None
     trace: Optional[PreemptionTrace] = None
+    plan: Optional[FaultPlan] = None
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent settings."""
         if self.policy is not None:
             self.policy.validate()
+        if self.plan is not None:
+            for ev in self.plan.events:
+                ev.validate()
 
     def to_dict(self) -> dict:
         return {"policy": _opt_dict(self.policy),
-                "trace": _trace_to_list(self.trace)}
+                "trace": _trace_to_list(self.trace),
+                "plan": None if self.plan is None else self.plan.to_list()}
 
     @classmethod
     def from_dict(cls, d: dict) -> "FaultSpec":
+        plan = d.get("plan")
         return cls(policy=_opt_load(SitePolicy, d.get("policy")),
-                   trace=_trace_from_list(d.get("trace")))
+                   trace=_trace_from_list(d.get("trace")),
+                   plan=None if plan is None else FaultPlan.from_list(plan))
 
 
 @dataclass
@@ -239,6 +250,13 @@ class ObsSpec:
     profile_engine: bool = False
     #: Cap on points per emitted gauge timeline (downsampled above this).
     timeline_max_points: int = 512
+    #: Run the :class:`~repro.faults.invariants.InvariantChecker` at phase
+    #: boundaries (and on a cadence, if ``invariant_interval`` is set).
+    check_invariants: bool = False
+    #: Invariant-check cadence in sim-seconds; ``None`` = phase
+    #: boundaries only.  Implies ``check_invariants``-style zero cost when
+    #: the checker is off: no timer events are ever created.
+    invariant_interval: Optional[float] = None
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent settings."""
@@ -248,12 +266,15 @@ class ObsSpec:
             raise ValueError("trace_capacity must be >= 1")
         if self.timeline_max_points < 2:
             raise ValueError("timeline_max_points must be >= 2")
+        if self.invariant_interval is not None \
+                and self.invariant_interval <= 0:
+            raise ValueError("invariant_interval must be positive or None")
 
     @property
     def enabled(self) -> bool:
         """True when any telemetry feature is switched on."""
         return (self.sample_interval is not None or self.trace
-                or self.profile_engine)
+                or self.profile_engine or self.check_invariants)
 
     def to_dict(self) -> dict:
         return asdict(self)

@@ -60,7 +60,8 @@ class TestSmokeMode:
         # ScenarioResult record.
         section = report["scenarios"]
         assert set(section) >= {"wan_staging", "hetero_tiers",
-                                "rebalance_under_load", "churn_heavy"}
+                                "rebalance_under_load", "churn_heavy",
+                                "blackout", "flaky_wan"}
         for name, record in section.items():
             assert record["scenario"] == name
             assert record["events"] > 0
@@ -69,6 +70,18 @@ class TestSmokeMode:
                 ["ramp", "preload"]
         # rebalance_under_load must really have balanced under load.
         assert section["rebalance_under_load"]["balancer"]["moved_blocks"] > 0
+
+        # The fault scenarios ran their plans and recovered to steady
+        # state: every surviving block back at target, repair machinery
+        # drained, zero invariant violations.
+        for name in ("blackout", "flaky_wan"):
+            record = section[name]
+            assert record["faults"]["injected"]["events_fired"] > 0
+            conv = record["faults"]["convergence"]
+            assert conv["under_replicated_final"] == 0
+            assert conv["deferred_final"] == 0
+            assert conv["invalidation_backlog_final"] == 0
+            assert record["invariants"]["violations"] == 0
 
         # Each sweep point carries the obs sections the diff/inspect
         # tooling reads: the full registry snapshot and sampled per-phase
@@ -80,7 +93,7 @@ class TestSmokeMode:
         workload = base["timelines"].get("workload", {})
         assert "running_nodes" in workload and "active_flows" in workload
         for record in section.values():
-            assert record["schema_version"] == 2
+            assert record["schema_version"] == 3
 
         # --check-against: a self-diff gates clean ...
         import argparse

@@ -1,0 +1,150 @@
+"""Runtime invariant checker: clean systems pass, corrupted metadata is
+caught, and enabling the checker is decision-free (byte-identical
+payloads with it off and on)."""
+
+from types import SimpleNamespace
+
+from repro.faults import InvariantChecker
+from repro.hdfs import hog_config
+from repro.hdfs.config import MB
+from repro.scenarios import registry
+from repro.scenarios.runner import ScenarioRunner
+
+from helpers import MRHarness
+
+SMOKE = dict(n_nodes=24, scale=0.04)
+
+
+def make_system(**hdfs_overrides):
+    """An MR cluster wrapped to look like a HOG system to the checker."""
+    h = MRHarness(n_nodes=6, hdfs_config=hog_config(
+        replication=3, disk_check_interval=None, **hdfs_overrides))
+    system = SimpleNamespace(namenode=h.namenode, jobtracker=h.jobtracker)
+    return h, system
+
+
+class TestCleanSystem:
+    def test_busy_cluster_has_zero_violations(self):
+        h, system = make_system()
+        checker = InvariantChecker(h.sim, system, interval=5.0)
+        checker.start()
+        job = h.submit(num_maps=4, num_reduces=2)
+        h.run_to_completion([job])
+        h.sim.run(until=h.sim.now + 60.0)
+        checker.stop()
+        summary = checker.summary()
+        assert summary["checks_run"] > 10
+        assert summary["violations"] == 0
+        assert summary["by_invariant"] == {}
+
+    def test_tick_events_are_counted_for_subtraction(self):
+        h, system = make_system()
+        checker = InvariantChecker(h.sim, system, interval=5.0)
+        checker.start()
+        h.sim.run(until=h.sim.now + 52.0)
+        assert checker.events_injected == 10
+
+
+class TestCorruptionDetected:
+    def test_needed_entry_at_target_flagged(self):
+        h, system = make_system()
+        fi = h.client().preload_file("/f", 64 * MB)
+        nn = h.namenode
+        nn._needed[fi.blocks[0].block_id] = None  # fully replicated block
+        checker = InvariantChecker(h.sim, system)
+        assert checker.check("poke") > 0
+        assert "needed_consistent" in checker.violation_counts
+
+    def test_one_sided_host_map_flagged(self):
+        h, system = make_system()
+        h.client().preload_file("/f", 64 * MB)
+        nn = h.namenode
+        nn._host_blocks[h.hosts()[0]][9999] = None  # phantom replica
+        checker = InvariantChecker(h.sim, system)
+        assert checker.check("poke") > 0
+        assert "block_map_bidirectional" in checker.violation_counts
+
+    def test_lost_block_with_replicas_flagged(self):
+        h, system = make_system()
+        fi = h.client().preload_file("/f", 64 * MB)
+        nn = h.namenode
+        nn._lost_blocks[fi.blocks[0].block_id] = None  # has live replicas
+        checker = InvariantChecker(h.sim, system)
+        assert checker.check("poke") > 0
+        assert "lost_set_terminal" in checker.violation_counts
+
+    def test_forgotten_needed_block_flagged(self):
+        h, system = make_system()
+        fi = h.client().preload_file("/f", 64 * MB)
+        nn = h.namenode
+        bid = fi.blocks[0].block_id
+        # Under-replicated on paper, but neither queued nor deferred nor
+        # covered by in-flight copies: the silent-stall shape.
+        nn.block_info(bid).replicas.popitem()
+        nn._needed[bid] = None
+        checker = InvariantChecker(h.sim, system)
+        assert checker.check("poke") > 0
+        assert "repair_progress" in checker.violation_counts
+
+    def test_heap_leak_flagged(self):
+        h, system = make_system()
+        nn = h.namenode
+        for i in range(10_000):
+            nn._repl_heap.append((0, i))
+        checker = InvariantChecker(h.sim, system)
+        assert checker.check("poke") > 0
+        assert "heaps_bounded" in checker.violation_counts
+
+    def test_orphaned_running_attempt_flagged(self):
+        h, system = make_system()
+        h.submit(num_maps=4, num_reduces=1)
+        h.sim.run(until=h.sim.now + 30.0)
+        jt = h.jobtracker
+        attempts = [a for job in jt.active_jobs()
+                    for task in job.maps + job.reduces
+                    for a in task.running_attempts]
+        assert attempts, "no running attempts to orphan"
+        checker = InvariantChecker(h.sim, system)
+        assert checker.check("before") == 0
+        # Declare the tracker dead behind the scheduler's back: its still
+        # RUNNING attempts are now orphans.
+        jt._trackers[attempts[0].tracker.host].alive = False
+        assert checker.check("after") > 0
+        assert "no_orphan_attempts" in checker.violation_counts
+
+    def test_inconsistent_tracer_stats_flagged(self):
+        h, system = make_system()
+        system.tracer = SimpleNamespace(
+            stats=lambda: {"recorded": 10, "kept": 3, "dropped": 2})
+        checker = InvariantChecker(h.sim, system)
+        assert checker.check("poke") > 0
+        assert "tracer_accounting" in checker.violation_counts
+
+    def test_violations_counted_beyond_storage_cap(self):
+        from repro.faults.invariants import MAX_STORED
+        h, system = make_system()
+        nn = h.namenode
+        for i in range(MAX_STORED + 50):
+            nn._host_blocks[h.hosts()[0]][10_000 + i] = None
+        checker = InvariantChecker(h.sim, system)
+        checker.check("poke")
+        assert checker.violation_counts["block_map_bidirectional"] == \
+            MAX_STORED + 50
+        assert len(checker.violations) == MAX_STORED
+
+
+class TestZeroImpact:
+    def test_checker_off_and_on_payloads_identical(self):
+        """The telemetry contract, extended to invariants: enabling the
+        checker must not move a single simulation decision."""
+        results = []
+        for enabled in (False, True):
+            spec = registry.build("baseline", seed=7, **SMOKE)
+            spec.obs.check_invariants = enabled
+            spec.obs.invariant_interval = 30.0 if enabled else None
+            results.append(ScenarioRunner(spec).run())
+        off, on = results
+        assert on.invariants is not None and off.invariants is None
+        assert on.invariants["violations"] == 0
+        assert off.events == on.events
+        assert off.payload() == on.payload()

@@ -246,6 +246,35 @@ class TestDiffEngine:
         rate = [e for e in entries if e.key == "fast_path_rate"]
         assert rate and rate[0].flag
 
+    def test_fault_metric_any_increase_flagged(self):
+        """Recovery-health leaves get zero tolerance: any increase flags,
+        regardless of the ±5% behaviour band."""
+        old = self._record(hdfs={"blocks_all_replicas_lost": 0,
+                                 "replications_completed": 40})
+        new = self._record(hdfs={"blocks_all_replicas_lost": 1,
+                                 "replications_completed": 90})
+        flags = {e.key: e.flag for e in diff_records(old, new) if e.flag}
+        assert flags.get("hdfs.blocks_all_replicas_lost") == \
+            "fault metric increased (recovery regression)"
+        # More repair traffic is activity, not a regression.
+        assert "hdfs.replications_completed" not in flags
+
+    def test_fault_metric_appearing_from_absent_flagged(self):
+        """A no-fault scenario suddenly reporting lost blocks must flag
+        even one-sided (the old record predates the counter)."""
+        old = self._record()
+        new = self._record(hdfs={"blocks_all_replicas_lost": 1})
+        entries = [e for e in diff_records(old, new)
+                   if e.key == "hdfs.blocks_all_replicas_lost"]
+        assert entries and entries[0].flag
+
+    def test_fault_metric_decrease_not_flagged(self):
+        old = self._record(
+            faults={"convergence": {"under_replicated_final": 3}})
+        new = self._record(
+            faults={"convergence": {"under_replicated_final": 0}})
+        assert not [e for e in diff_records(old, new) if e.flag]
+
     def test_bench_report_shape_and_notes(self):
         old = {"benchmark": "bench_scale_sweep",
                "points": [self._record(nodes=100)],

@@ -190,7 +190,7 @@ class TestRunnerEndToEnd:
                     "locality", "preemptions", "failed_jobs",
                     "timelines", "engine", "trace"):
             assert key in record
-        assert record["schema_version"] == 2
+        assert record["schema_version"] == 3
         assert record["scenario"] == "hetero_tiers"
         assert record["channel"]["rebalances"] > 0
         assert record["events"] > 0
@@ -228,6 +228,7 @@ class TestDeterminismGuard:
             d.pop("timelines")
             d.pop("engine")
             d.pop("trace")
+            d.pop("invariants")
             d["phases"] = [{"name": p["name"],
                             "sim_seconds": p["sim_seconds"]}
                            for p in d["phases"]]

@@ -30,7 +30,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Set, Tuple
 
-CHECKED_PACKAGES = ("sim", "net", "mapreduce", "hdfs", "storage")
+CHECKED_PACKAGES = ("sim", "net", "mapreduce", "hdfs", "storage", "faults")
 WAIVER = "set-order-ok"
 
 #: Calls that pass their argument's iteration order through to a list.

@@ -33,7 +33,7 @@ import sys
 from pathlib import Path
 from typing import List, Tuple
 
-CHECKED_PACKAGES = ("sim", "net", "mapreduce", "hdfs", "grid", "storage")
+CHECKED_PACKAGES = ("sim", "net", "mapreduce", "hdfs", "grid", "storage", "faults")
 WAIVER = "wallclock-ok"
 
 #: ``time`` module functions that read the host clock.
