@@ -1,0 +1,170 @@
+"""Pure-engine micro-benchmark: timer/process dispatch throughput.
+
+Measures the raw event loop in isolation — no cluster, no channel, no
+workload — across the three dispatch shapes the fast paths target:
+
+- ``process_sleep`` — N generator processes each sleeping M times: the
+  classic ``Timeout`` + ``Process._resume`` cycle, where the timeout
+  free list pays off.
+- ``callback_timer`` — N independent ``call_after`` cadence chains:
+  the resume-free ``CallbackTimer`` path (heartbeat/probe/channel-timer
+  shape).
+- ``coalesced_burst`` — M rounds of N ``call_at`` registrations on one
+  shared timestamp per round: timestamp coalescing plus same-instant
+  batch dispatch.
+
+Every shape runs **pooled vs. unpooled** (``Simulator(pooling=False)``
+keeps allocation behaviour pre-pool) so the free lists' contribution is
+measured, not assumed.  Results — wall seconds, events, events/s, and
+the :class:`~repro.sim.events.EngineProfile` counters evidencing which
+path fired — go to ``BENCH_engine.json`` next to this script.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py            # full sizes
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke    # CI-fast
+    PYTHONPATH=src python benchmarks/bench_engine.py --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    # Allow running as a plain script without PYTHONPATH set.
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EngineProfile
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+#: (processes-or-chains, ticks each) per shape; --smoke shrinks both.
+FULL_SIZES = {"process_sleep": (200, 500),
+              "callback_timer": (200, 500),
+              "coalesced_burst": (200, 500)}
+SMOKE_SIZES = {"process_sleep": (20, 25),
+               "callback_timer": (20, 25),
+               "coalesced_burst": (20, 25)}
+
+
+def _run_process_sleep(sim: Simulator, n: int, m: int) -> None:
+    def sleeper(sim):
+        for _ in range(m):
+            yield sim.timeout(1.0)
+
+    for _ in range(n):
+        sim.process(sleeper(sim))
+    sim.run()
+
+
+def _run_callback_timer(sim: Simulator, n: int, m: int) -> None:
+    def tick(state):
+        state[1] += 1
+        if state[1] < m:
+            sim.call_after(state[0], tick, state)
+
+    for i in range(n):
+        # Distinct periods so the chains do not coalesce by accident.
+        sim.call_after(1.0 + i * 1e-3, tick, [1.0 + i * 1e-3, 0])
+    sim.run()
+
+
+def _run_coalesced_burst(sim: Simulator, n: int, m: int) -> None:
+    fired = []
+
+    def round_at(t: float):
+        for _ in range(n):
+            sim.call_at(t, fired.append, t)
+
+    for r in range(1, m + 1):
+        round_at(float(r))
+    sim.run()
+    assert len(fired) == n * m
+
+
+SHAPES = {"process_sleep": _run_process_sleep,
+          "callback_timer": _run_callback_timer,
+          "coalesced_burst": _run_coalesced_burst}
+
+
+def run_shape(name: str, n: int, m: int, pooling: bool,
+              repeats: int) -> dict:
+    """Best-of-``repeats`` wall time for one shape/pooling combination."""
+    best = None
+    for _ in range(repeats):
+        sim = Simulator(pooling=pooling)
+        sim.profile = EngineProfile()
+        t0 = time.perf_counter()
+        SHAPES[name](sim, n, m)
+        wall = time.perf_counter() - t0
+        if best is None or wall < best["wall_seconds"]:
+            best = {
+                "shape": name,
+                "pooling": pooling,
+                "units": n,
+                "ticks": m,
+                "wall_seconds": round(wall, 6),
+                "events": sim.events_processed,
+                "events_per_second": (round(sim.events_processed / wall)
+                                      if wall > 0 else None),
+                "profile": sim.profile.as_dict(),
+            }
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for the fast test tier")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="wall-time repeats per point, best kept "
+                             "(default: %(default)s)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    points = []
+    for name, (n, m) in sizes.items():
+        for pooling in (False, True):
+            rec = run_shape(name, n, m, pooling, args.repeats)
+            points.append(rec)
+            print(f"[bench-engine] {name:16s} pooling={str(pooling):5s} "
+                  f"events={rec['events']:>8d} "
+                  f"wall={rec['wall_seconds']:.4f}s "
+                  f"({rec['events_per_second']:,} ev/s)", flush=True)
+
+    # Pooled-vs-unpooled speedups per shape (informational; smoke sizes
+    # are too small for stable ratios).
+    speedups = {}
+    for name in sizes:
+        un = next(p for p in points
+                  if p["shape"] == name and not p["pooling"])
+        po = next(p for p in points if p["shape"] == name and p["pooling"])
+        if po["wall_seconds"] > 0:
+            speedups[name] = round(un["wall_seconds"] / po["wall_seconds"], 3)
+    print(f"[bench-engine] pooled speedups: {speedups}", flush=True)
+
+    report = {
+        "benchmark": "bench_engine",
+        "description": "pure-engine dispatch throughput, pooled vs unpooled",
+        "python": sys.version.split()[0],
+        "smoke": args.smoke,
+        "repeats": args.repeats,
+        "points": points,
+        "pooled_speedups": speedups,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench-engine] wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

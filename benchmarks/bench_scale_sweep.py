@@ -110,6 +110,9 @@ def run_point(n_nodes: int, scale: float, seed: int,
     spec.cluster.ramp_fraction = ramp_fraction
     spec.obs.sample_interval = BENCH_SAMPLE_INTERVAL
     spec.obs.timeline_max_points = BENCH_TIMELINE_POINTS
+    # Engine self-profile (dispatch mix, pool reuses, batch sizes):
+    # observational only, and the evidence for where dispatch work goes.
+    spec.obs.profile_engine = True
     runner = ScenarioRunner(spec)
     result = runner.run()
     return {
@@ -147,6 +150,9 @@ def run_point(n_nodes: int, scale: float, seed: int,
         # timelines — the obs sections the diff/inspect tooling reads.
         "registry": runner.system.registry.snapshot(),
         "timelines": result.timelines,
+        # Dispatch-loop self-profile: event mix, callback-timer fires,
+        # free-list reuses, and same-instant batch sizes.
+        "engine": result.engine,
     }
 
 

@@ -102,7 +102,7 @@ class Injector:
 
     def _after(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` at ``sim.now + delay`` (window restore)."""
-        self.sim.timeout(delay).callbacks.append(lambda _ev: fn())
+        self.sim.call_after(delay, lambda _arg: fn())
 
     def _victims(self, site: GridSite) -> List[Glidein]:
         """Running pilots at ``site``, longest-running (lowest id) first —

@@ -13,7 +13,7 @@ It honours the telemetry zero-impact contract exactly like
 - **zero-cost disabled** — nothing is constructed, no timer exists;
 - **decision-free enabled** — every invariant is a pure read over live
   state (no mutation, no randomness), the cadence timer is a single
-  callback :class:`~repro.sim.events.Timeout` per tick counted in
+  pooled callback timer (``Simulator.call_after``) per tick counted in
   :attr:`InvariantChecker.events_injected`, so enabling the checker can
   never flip a simulation decision and subtracted event counts stay
   byte-identical.
@@ -31,7 +31,6 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..sim.engine import Simulator
-from ..sim.events import Timeout
 
 __all__ = ["InvariantChecker", "Violation"]
 
@@ -109,9 +108,9 @@ class InvariantChecker:
         self._running = False
 
     def _arm(self) -> None:
-        Timeout(self.sim, self.interval).callbacks.append(self._tick)
+        self.sim.call_after(self.interval, self._tick)
 
-    def _tick(self, _event) -> None:
+    def _tick(self, _arg) -> None:
         self.events_injected += 1
         if not self._running:
             return

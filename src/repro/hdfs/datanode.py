@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from ..net.fabric import NetworkFabric, TransferFailed
 from ..sim.engine import Simulator
-from ..sim.events import Event, Interrupt
+from ..sim.events import Event
 from ..storage.disk import Disk, DiskFullError, DiskIOError
 from .block import Block
 from .config import HdfsConfig
@@ -63,8 +63,9 @@ class Datanode:
         self.config = config or HdfsConfig()
         self.state = Datanode.DEAD  # not started yet
         self._blocks: Dict[int, Block] = {}
-        self._heartbeat_proc = None
-        self._diskcheck_proc = None
+        self._hb_epoch = 0
+        self._dc_epoch = 0
+        self._next_report: Optional[float] = None
         #: Outbound re-replication streams currently running.
         self.active_repl_streams = 0
 
@@ -75,11 +76,15 @@ class Datanode:
             raise RuntimeError(f"datanode {self.host} already started")
         self.state = Datanode.RUNNING
         self.namenode.register_datanode(self)
-        self._heartbeat_proc = self.sim.process(
-            self._heartbeat_loop(), name=f"dn-hb:{self.host}")
+        interval = self.config.block_report_interval
+        self._next_report = (
+            None if interval is None
+            else self.sim.now + self.config.block_report_initial_delay)
+        self._hb_epoch += 1
+        self.sim.call_soon(self._hb_tick, self._hb_epoch)
         if self.config.disk_check_interval is not None:
-            self._diskcheck_proc = self.sim.process(
-                self._disk_check_loop(), name=f"dn-check:{self.host}")
+            self._dc_epoch += 1
+            self.sim.call_soon(self._dc_arm, self._dc_epoch)
 
     def shutdown(self) -> None:
         """Clean daemon exit: stop loops; namenode learns via timeout."""
@@ -103,11 +108,10 @@ class Datanode:
         self._blocks.clear()
 
     def _stop_loops(self) -> None:
-        for proc in (self._heartbeat_proc, self._diskcheck_proc):
-            if proc is not None and proc.is_alive:
-                proc.interrupt("daemon stopped")
-        self._heartbeat_proc = None
-        self._diskcheck_proc = None
+        # Invalidate both cadences: ticks already on the heap fire as
+        # no-ops against the stale epoch tokens.
+        self._hb_epoch += 1
+        self._dc_epoch += 1
 
     @property
     def is_alive(self) -> bool:
@@ -115,45 +119,53 @@ class Datanode:
         return self.state in (Datanode.RUNNING, Datanode.ZOMBIE)
 
     # -- daemon loops -------------------------------------------------------------
-    def _heartbeat_loop(self):
+    def _hb_tick(self, epoch: int) -> None:
         """Periodic status report; zombies keep reporting (the bug).
 
-        The loop also carries the hourly full block report (Hadoop's
+        The cadence also carries the hourly full block report (Hadoop's
         ``dfs.blockreport.intervalMsec``), piggybacked on the heartbeat
-        cadence so it costs no extra simulator events: the first report
-        goes ``block_report_initial_delay`` after startup, then every
+        so it costs no extra simulator events: the first report goes
+        ``block_report_initial_delay`` after startup, then every
         ``block_report_interval``.  A zombie's report is empty — and
         since the namenode's report processing is additive-only, that
         does NOT clear its believed replicas, preserving the §IV-D1
         zombie semantics (the namenode keeps crediting a zombie's
         blocks until the disk self-check shuts the daemon down).
-        """
-        interval = self.config.block_report_interval
-        next_report = (None if interval is None
-                       else self.sim.now + self.config.block_report_initial_delay)
-        try:
-            while self.is_alive:
-                self.namenode.heartbeat(self)
-                if next_report is not None and self.sim.now >= next_report:
-                    self.namenode.process_block_report(
-                        self.host, self.block_report())
-                    next_report = self.sim.now + interval
-                # Ask per beat: the period adapts to cluster size.
-                yield self.sim.timeout(self.namenode.heartbeat_interval())
-        except Interrupt:
-            return
 
-    def _disk_check_loop(self):
+        Runs on the callback-timer fast path: each tick re-arms via
+        ``call_after`` with the epoch token captured at :meth:`start`;
+        ``_stop_loops`` bumps the epoch so stale ticks no-op.
+        """
+        if epoch != self._hb_epoch or not self.is_alive:
+            return
+        self.namenode.heartbeat(self)
+        next_report = self._next_report
+        if next_report is not None and self.sim.now >= next_report:
+            self.namenode.process_block_report(
+                self.host, self.block_report())
+            self._next_report = self.sim.now + self.config.block_report_interval
+        # Ask per beat: the period adapts to cluster size.
+        self.sim.call_after(
+            self.namenode.heartbeat_interval(), self._hb_tick, epoch)
+
+    def _dc_arm(self, epoch: int) -> None:
+        """Arm the first disk probe one full interval out (the generator
+        version slept before its first probe)."""
+        if epoch != self._dc_epoch or not self.is_alive:
+            return
+        self.sim.call_after(
+            self.config.disk_check_interval, self._dc_tick, epoch)
+
+    def _dc_tick(self, epoch: int) -> None:
         """The §IV-D1 fix: probe the working directory every
         ``disk_check_interval`` seconds; shut down when it is gone."""
-        try:
-            while self.is_alive:
-                yield self.sim.timeout(self.config.disk_check_interval)
-                if not self.disk.probe():
-                    self.shutdown()
-                    return
-        except Interrupt:
+        if epoch != self._dc_epoch or not self.is_alive:
             return
+        if not self.disk.probe():
+            self.shutdown()
+            return
+        self.sim.call_after(
+            self.config.disk_check_interval, self._dc_tick, epoch)
 
     # -- block storage --------------------------------------------------------------
     @property

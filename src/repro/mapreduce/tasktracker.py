@@ -77,7 +77,7 @@ class TaskTracker:
         # over ``_running``.
         self._n_running_maps = 0
         self._n_running_reduces = 0
-        self._heartbeat_proc = None
+        self._hb_epoch = 0
 
     # -- lifecycle --------------------------------------------------------------
     def start(self) -> None:
@@ -86,15 +86,15 @@ class TaskTracker:
             raise RuntimeError(f"tasktracker {self.host} already started")
         self.state = TaskTracker.RUNNING
         self.jobtracker.register_tracker(self)
-        self._heartbeat_proc = self.sim.process(
-            self._heartbeat_loop(), name=f"tt-hb:{self.host}")
+        self._hb_epoch += 1
+        self.sim.call_soon(self._hb_tick, self._hb_epoch)
 
     def shutdown(self) -> None:
         """Clean daemon exit (running attempts are abandoned)."""
         self._kill_all_attempts()
-        if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
-            self._heartbeat_proc.interrupt("daemon stopped")
-        self._heartbeat_proc = None
+        # Invalidate the heartbeat cadence: a tick already on the heap
+        # fires as a no-op against the stale epoch token.
+        self._hb_epoch += 1
         self.state = TaskTracker.DEAD
 
     def kill(self) -> None:
@@ -151,14 +151,19 @@ class TaskTracker:
         return max(0, self.reduce_slots - self.running_reduces)
 
     # -- heartbeat -----------------------------------------------------------------
-    def _heartbeat_loop(self):
-        try:
-            while self.is_alive:
-                self.jobtracker.heartbeat(self)
-                # Ask per beat: the period adapts to cluster size.
-                yield self.sim.timeout(self.jobtracker.heartbeat_interval())
-        except Interrupt:
+    def _hb_tick(self, epoch: int) -> None:
+        """One heartbeat on the callback-timer fast path.
+
+        The cadence is a chain of ``call_after`` timers carrying the epoch
+        token captured at :meth:`start`; ``shutdown`` bumps the epoch, so
+        a tick from a dead incarnation lands here and does nothing.
+        """
+        if epoch != self._hb_epoch or not self.is_alive:
             return
+        self.jobtracker.heartbeat(self)
+        # Ask per beat: the period adapts to cluster size.
+        self.sim.call_after(
+            self.jobtracker.heartbeat_interval(), self._hb_tick, epoch)
 
     # -- attempt execution -------------------------------------------------------------
     def launch(self, attempt: TaskAttempt) -> None:

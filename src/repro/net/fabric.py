@@ -34,7 +34,7 @@ store-and-forward).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..sim.channel import Constraint, Demand, FairQueue
 from ..sim.engine import Simulator
@@ -358,13 +358,12 @@ class NetworkFabric:
             # Cross-site stream into a partitioned site: fail fast (after
             # the would-be connection setup) so callers' retry paths run
             # instead of the flow stalling on a dead link forever.
-            def refuse(_ev: Event) -> None:
+            def refuse(_arg: Any) -> None:
                 if not done.triggered:
                     done.fail(TransferFailed(
                         f"wan partition blocks {src}->{dst}"))
                     done.defused()
-            self.sim.timeout(self._setup_delay(src, dst)).callbacks.append(
-                refuse)
+            self.sim.call_after(self._setup_delay(src, dst), refuse)
             return done
         if same:
             self.bytes_intra_site += nbytes
@@ -395,7 +394,7 @@ class NetworkFabric:
         self._pending_by_host.setdefault(flow.src, {})[flow] = None
         self._pending_by_host.setdefault(flow.dst, {})[flow] = None
 
-        def start(_ev: Event) -> None:
+        def start(_arg: Any) -> None:
             self._unindex_pending(flow)
             if flow.done.triggered:  # aborted during the latency phase
                 return
@@ -413,9 +412,9 @@ class NetworkFabric:
             self.channel.start(flow)
 
         if delay > 0.0:
-            self.sim.timeout(delay).callbacks.append(start)
+            self.sim.call_after(delay, start)
         else:
-            self.sim.wakeup_at(self.sim.now).callbacks.append(start)
+            self.sim.call_at(self.sim.now, start)
 
     def _flow_exited(self, demand: Demand) -> None:
         """Channel exit hook: tear down the fabric-side indexes."""

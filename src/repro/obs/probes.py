@@ -15,8 +15,8 @@ events, so enabling probes (at any cadence) cannot flip a simulation
 decision.
 
 Zero-cost accounting: each fired probe tick is exactly ONE engine event
-(a :class:`~repro.sim.events.Timeout` with one callback, no generator
-process), counted in :attr:`ProbeSet.events_injected` — consumers
+(a pooled callback timer via ``Simulator.call_after`` — no event object,
+no generator process), counted in :attr:`ProbeSet.events_injected` — consumers
 subtract it from ``Simulator.events_processed`` so reported event counts
 are identical with probes off, on, or at any cadence (the determinism
 guard asserts this byte-for-byte).
@@ -27,7 +27,6 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from ..sim.engine import Simulator
-from ..sim.events import Timeout
 from ..sim.monitor import StepSeries
 
 __all__ = ["ProbeSet"]
@@ -71,9 +70,9 @@ class ProbeSet:
 
     # -- internals ---------------------------------------------------------
     def _arm(self) -> None:
-        Timeout(self.sim, self.interval).callbacks.append(self._tick)
+        self.sim.call_after(self.interval, self._tick)
 
-    def _tick(self, _event) -> None:
+    def _tick(self, _arg) -> None:
         self.events_injected += 1
         if not self._running:
             return

@@ -13,7 +13,7 @@ Public surface:
 
 from .channel import Constraint, Demand, FairQueue
 from .engine import EmptySchedule, Simulator
-from .events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
+from .events import AllOf, AnyOf, CallbackTimer, Event, Interrupt, Process, Timeout
 from .monitor import CounterSet, EventLog, StepSeries
 from .rng import RngRegistry
 
@@ -25,6 +25,7 @@ __all__ = [
     "Demand",
     "Event",
     "Timeout",
+    "CallbackTimer",
     "Process",
     "Interrupt",
     "AnyOf",

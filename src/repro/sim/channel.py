@@ -57,8 +57,10 @@ is then a guarantee, checkable in O(1), that no churn inside the site can
 re-rate (or even visit) any other site's demands.
 
 **Heap batching.**  All wake-ups go through
-:meth:`~repro.sim.engine.Simulator.wakeup_at`, so the many groups that
-finish at the same simulated instant share a single event-heap entry.
+:meth:`~repro.sim.engine.Simulator.call_at` (the callback-timer twin of
+``wakeup_at``), so the many groups that finish at the same simulated
+instant share a single event-heap entry and dispatch without event-object
+or generator-resume overhead.
 
 Same-instant changes batch into one scheduled pass (`_mark_dirty`), and
 completions that land exactly on a pass's timestamp are drained by that
@@ -69,7 +71,7 @@ event.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .engine import Simulator
 from .events import Event
@@ -525,13 +527,13 @@ class _UniformGroup:
         self.armed_at = fire_at
         version = self.version
 
-        def on_fire(_ev: Event) -> None:
+        def on_fire(_arg: Any) -> None:
             if self.version != version or self.armed_at != fire_at:
                 return
             self.armed_at = None
             self._tick()
 
-        self.queue.sim.wakeup_at(fire_at).callbacks.append(on_fire)
+        self.queue.sim.call_at(fire_at, on_fire)
 
     def _tick(self) -> None:
         """Clock wake-up: complete every member the clock has passed."""
@@ -933,12 +935,11 @@ class FairQueue:
         if self._pass_scheduled:
             return
         self._pass_scheduled = True
+        self.sim.call_at(self.sim.now, self._scheduled_pass)
 
-        def do(_ev: Event) -> None:
-            self._pass_scheduled = False
-            self._rebalance()
-
-        self.sim.wakeup_at(self.sim.now).callbacks.append(do)
+    def _scheduled_pass(self, _arg: Any = None) -> None:
+        self._pass_scheduled = False
+        self._rebalance()
 
     def ensure_progress(self, demand: Demand) -> None:
         """Starvation guard: a demand left with ``rate <= 0`` and no live
@@ -949,7 +950,7 @@ class FairQueue:
         demand._retry_version += 1
         version = demand._retry_version
 
-        def retry(_ev: Event) -> None:
+        def retry(_arg: Any) -> None:
             if demand._retry_version != version or demand not in self._live:
                 return
             if demand.rate > 0:
@@ -958,8 +959,7 @@ class FairQueue:
                 self._dirty[c] = None
             self._mark_dirty()
 
-        self.sim.wakeup_at(self.sim.now + self.STARVATION_RETRY) \
-            .callbacks.append(retry)
+        self.sim.call_at(self.sim.now + self.STARVATION_RETRY, retry)
 
     def _rebalance(self) -> None:
         """Re-rate every component reachable from the dirty constraints.
@@ -1227,7 +1227,7 @@ class FairQueue:
         constraint._timer_at = fire_at
         version = constraint._timer_version
 
-        def on_fire(_ev: Event) -> None:
+        def on_fire(_arg: Any) -> None:
             if constraint._timer_version != version:
                 return
             constraint._timer_at = None
@@ -1238,7 +1238,7 @@ class FairQueue:
             self._dirty[constraint] = None
             self._mark_dirty()
 
-        self.sim.wakeup_at(fire_at).callbacks.append(on_fire)
+        self.sim.call_at(fire_at, on_fire)
 
     def _try_timer_completion(self, constraint: Constraint) -> bool:
         """Resolve a bottleneck-timer firing in place when the pass it

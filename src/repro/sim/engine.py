@@ -18,15 +18,19 @@ Example
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Iterable, List, Optional, Tuple
 
 from .events import (
     NORMAL,
+    POOL_MAX,
     PROCESSED,
+    TRIGGERED,
+    URGENT,
     AllOf,
     AnyOf,
+    CallbackTimer,
     EngineProfile,
     Event,
     Process,
@@ -49,13 +53,21 @@ class Simulator:
         Initial simulated time (seconds).
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, pooling: bool = True) -> None:
         self._now: float = float(start)
         self._heap: List[Tuple[float, int, int, Event]] = []
         self._counter = count()
         self._active_proc: Optional[Process] = None
-        #: Pending shared wake-ups by absolute timestamp (see `wakeup_at`).
+        #: Pending shared wake-ups by absolute timestamp (see `wakeup_at`
+        #: and `call_at`).
         self._wakeups: dict = {}
+        #: Free lists of fired, recyclable event objects (see
+        #: :class:`~repro.sim.events.Timeout` /
+        #: :class:`~repro.sim.events.CallbackTimer`).  ``pooling=False``
+        #: disables recycling (benchmark A/B baseline).
+        self._timeout_pool: List[Timeout] = []
+        self._timer_pool: List[CallbackTimer] = []
+        self._pool_cap: int = POOL_MAX if pooling else 0
         #: Total events processed over the simulator's lifetime (perf metric
         #: for benchmark harnesses: events/sec of wall time).
         self.events_processed: int = 0
@@ -81,14 +93,112 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` simulated seconds from now."""
+        """An event firing ``delay`` simulated seconds from now.
+
+        Served from the free list of fired timeouts when one is
+        available; see :class:`~repro.sim.events.Timeout` for the
+        recycling contract.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay {delay!r}")
+            t = pool.pop()
+            t.callbacks = []
+            t._value = value
+            t._state = TRIGGERED
+            t.delay = delay
+            prof = self.profile
+            if prof is not None:
+                prof.timeout_pool_reuses += 1
+            heappush(self._heap,
+                     (self._now + delay, NORMAL, next(self._counter), t))
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator, name: str = "") -> Process:
         """Start ``generator`` as a new simulation process."""
         return Process(self, generator, name=name)
 
-    def wakeup_at(self, when: float) -> Timeout:
+    # -- callback timers (the resume-free fast path) ---------------------------
+    def _acquire_timer(self, at_time: float, priority: int) -> CallbackTimer:
+        """Pooled CallbackTimer scheduled at absolute ``at_time``."""
+        pool = self._timer_pool
+        if pool:
+            t = pool.pop()
+            t._state = TRIGGERED
+            prof = self.profile
+            if prof is not None:
+                prof.timer_pool_reuses += 1
+        else:
+            t = CallbackTimer(self)
+        heappush(self._heap, (at_time, priority, next(self._counter), t))
+        return t
+
+    def call_at(self, when: float, fn, arg: Any = None) -> CallbackTimer:
+        """Call ``fn(arg)`` at absolute sim time ``when`` (coalesced).
+
+        The callback-timer twin of :meth:`wakeup_at`: all callers asking
+        for the same timestamp before it fires share a single heap entry,
+        and their ``(fn, arg)`` pairs run in registration order at
+        dispatch — no event value, no callbacks-list churn, no generator
+        resume.  ``when`` at or before the current time fires "now"
+        (still asynchronously).  The returned timer is pooled; never
+        retain it past its fire, and never ``yield`` it.
+        """
+        t = self._wakeups.get(when)
+        if t is None:
+            t = self._acquire_timer(when if when > self._now else self._now,
+                                    NORMAL)
+            t.when = when
+            self._wakeups[when] = t
+        fns = t._fns
+        fns.append(fn)
+        fns.append(arg)
+        return t
+
+    def call_after(self, delay: float, fn, arg: Any = None) -> CallbackTimer:
+        """Call ``fn(arg)`` ``delay`` sim-seconds from now (dedicated).
+
+        Unlike :meth:`call_at` the timer is *not* shared: it owns its
+        heap entry, exactly like ``timeout(delay)`` with one callback
+        appended, minus the event-object overhead.  Use for cadence ticks
+        (heartbeats, probes) and one-shot deferred actions.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timer delay {delay!r}")
+        # _acquire_timer inlined: this is the hottest timer entry point
+        # (every heartbeat/probe/restore tick passes through here).
+        pool = self._timer_pool
+        if pool:
+            t = pool.pop()
+            t._state = TRIGGERED
+            prof = self.profile
+            if prof is not None:
+                prof.timer_pool_reuses += 1
+        else:
+            t = CallbackTimer(self)
+        heappush(self._heap,
+                 (self._now + delay, NORMAL, next(self._counter), t))
+        fns = t._fns
+        fns.append(fn)
+        fns.append(arg)
+        return t
+
+    def call_soon(self, fn, arg: Any = None) -> CallbackTimer:
+        """Call ``fn(arg)`` at the current instant, URGENT priority.
+
+        Mirrors the scheduling of a new process's initializer (URGENT at
+        ``now``): converted daemon loops use it so their first action
+        keeps the exact dispatch slot the generator version had.
+        """
+        t = self._acquire_timer(self._now, URGENT)
+        fns = t._fns
+        fns.append(fn)
+        fns.append(arg)
+        return t
+
+    def wakeup_at(self, when: float) -> CallbackTimer:
         """A *shared* timer event firing at absolute time ``when``.
 
         All callers asking for the same timestamp before it fires get the
@@ -99,17 +209,21 @@ class Simulator:
 
         ``when`` at or before the current time fires "now" (still
         asynchronously, like ``timeout(0)``).  Append callbacks to the
-        returned event; do not yield it from long-lived processes that
+        returned event; they run after any :meth:`call_at` pairs sharing
+        the instant.  Do not yield it from long-lived processes that
         might be interrupted (interrupt detach would scan the shared
-        callback list).
+        callback list), and never retain it past its fire (the timer is
+        pooled).
         """
-        ev = self._wakeups.get(when)
-        if ev is None:
-            delay = when - self._now
-            ev = Timeout(self, delay if delay > 0.0 else 0.0)
-            self._wakeups[when] = ev
-            ev.callbacks.append(lambda _e: self._wakeups.pop(when, None))
-        return ev
+        t = self._wakeups.get(when)
+        if t is None:
+            t = self._acquire_timer(when if when > self._now else self._now,
+                                    NORMAL)
+            t.when = when
+            self._wakeups[when] = t
+        if t.callbacks is None:
+            t.callbacks = []
+        return t
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event firing when any of ``events`` fires."""
@@ -122,7 +236,7 @@ class Simulator:
     # -- scheduling -------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Place a triggered event on the heap ``delay`` seconds from now."""
-        heapq.heappush(self._heap, (self._now + delay, priority, next(self._counter), event))
+        heappush(self._heap, (self._now + delay, priority, next(self._counter), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -131,7 +245,7 @@ class Simulator:
     def step(self) -> None:
         """Process the single next event."""
         try:
-            when, _, _, event = heapq.heappop(self._heap)
+            when, _, _, event = heappop(self._heap)
         except IndexError:
             raise EmptySchedule() from None
         self._now = when
@@ -155,15 +269,41 @@ class Simulator:
             if horizon < self._now:
                 raise ValueError(f"until={horizon!r} is in the past (now={self._now!r})")
 
-        while self._heap:
-            if stop_event is not None and stop_event.processed:
+        # Batched same-instant dispatch: all heap entries sharing
+        # (time, priority) drain in one inner loop with a single `_now`
+        # write and one `events_processed` flush per batch.  Stop-event
+        # checks stay per-event so `run(until=event)` halts at the exact
+        # dispatch the event is processed, mid-batch included.
+        heap = self._heap
+        pop = heappop
+        while heap:
+            if stop_event is not None and stop_event._state >= PROCESSED:
                 return
-            if self._heap[0][0] > horizon:
+            when, priority = heap[0][0], heap[0][1]
+            if when > horizon:
                 self._now = horizon
                 return
-            self.step()
+            self._now = when
+            prof = self.profile
+            n = 0
+            while True:
+                _, _, _, event = pop(heap)
+                n += 1
+                if prof is not None:
+                    prof.note(event, len(heap))
+                event._process()
+                if stop_event is not None and stop_event._state >= PROCESSED:
+                    break
+                if not heap:
+                    break
+                head = heap[0]
+                if head[0] != when or head[1] != priority:
+                    break
+            self.events_processed += n
+            if prof is not None:
+                prof.note_batch(n)
 
-        if stop_event is not None and not stop_event.processed:
+        if stop_event is not None and stop_event._state < PROCESSED:
             raise RuntimeError("simulation ran out of events before `until` fired")
         if horizon != float("inf"):
             self._now = horizon
@@ -179,19 +319,34 @@ class Simulator:
         is returned.  Returns ``True`` as soon as ``event`` has fired.
         """
         heap = self._heap
-        pop = heapq.heappop
-        prof = self.profile
+        pop = heappop
         while event._state < PROCESSED:
             if not heap or heap[0][0] > deadline:
                 if deadline != float("inf"):
                     self._now = max(self._now, deadline)
                 return False
-            when, _, _, ev = pop(heap)
+            # Drain the same-(time, priority) batch; the target-event
+            # check stays per-dispatch so we stop at the exact instant.
+            when, priority = heap[0][0], heap[0][1]
             self._now = when
-            self.events_processed += 1
+            prof = self.profile
+            n = 0
+            while True:
+                _, _, _, ev = pop(heap)
+                n += 1
+                if prof is not None:
+                    prof.note(ev, len(heap))
+                ev._process()
+                if event._state >= PROCESSED:
+                    break
+                if not heap:
+                    break
+                head = heap[0]
+                if head[0] != when or head[1] != priority:
+                    break
+            self.events_processed += n
             if prof is not None:
-                prof.note(ev, len(heap))
-            ev._process()
+                prof.note_batch(n)
         return True
 
     def __repr__(self) -> str:

@@ -29,12 +29,18 @@ __all__ = [
     "Event",
     "EngineProfile",
     "Timeout",
+    "CallbackTimer",
     "Process",
     "Interrupt",
     "Condition",
     "AnyOf",
     "AllOf",
 ]
+
+#: Free-list bound for recycled :class:`Timeout`/:class:`CallbackTimer`
+#: objects.  Sized for the deepest same-instant burst a 10k-node run
+#: produces; beyond it, surplus fired timers fall back to the allocator.
+POOL_MAX = 4096
 
 PENDING = 0
 TRIGGERED = 1
@@ -140,7 +146,16 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed delay."""
+    """An event that fires after a fixed delay.
+
+    Fired timeouts whose only waiter was a generator process are recycled
+    into the simulator's free list (``sim.timeout`` draws from it), so the
+    steady-state sleep/resume cycle allocates nothing.  The recycling
+    contract: never retain a reference to a yielded timeout past its fire
+    — in-engine code never does, and the pool only reclaims the
+    single-process-waiter case, so conditions and plain callback waiters
+    keep ordinary object lifetimes.
+    """
 
     __slots__ = ("delay",)
 
@@ -158,14 +173,110 @@ class Timeout(Event):
         self.delay = delay
         sim._schedule(self, delay)
 
+    def _process(self) -> None:
+        # Timeouts cannot fail, so the base class's failure re-raise is
+        # dead weight here; the common single-waiter case additionally
+        # feeds the free list.
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = PROCESSED
+        if len(callbacks) == 1:
+            cb = callbacks[0]
+            cb(self)
+            if getattr(cb, "__func__", None) is Process._resume:
+                # Sole waiter was a generator sleep: nobody can hold a
+                # live reference any more (the process has moved on to a
+                # new target), so the object is safe to recycle.
+                sim = self.sim
+                pool = sim._timeout_pool
+                if len(pool) < sim._pool_cap:
+                    pool.append(self)
+            return
+        for cb in callbacks:
+            cb(self)
+
+
+class CallbackTimer(Event):
+    """A fire-once timer that invokes ``(fn, arg)`` pairs directly.
+
+    The fast-path twin of :class:`Timeout`: hot fire-once timers (channel
+    bottleneck/group wake-ups, heartbeat ticks, probe ticks) do not need
+    an event value, failure propagation, or generator resumption — just
+    "call this function at that time".  A :class:`CallbackTimer` skips
+    the callbacks-list churn and ``Process._resume`` entirely: its
+    ``_fns`` flat list holds ``fn0, arg0, fn1, arg1, ...`` and dispatch
+    is a plain call loop.
+
+    Timers created through :meth:`~repro.sim.engine.Simulator.call_at`
+    are *shared per timestamp* (the ``wakeup_at`` contract): ``when``
+    holds the registry key while registered, and the dispatch removes the
+    key with an identity check so a successor registered under the same
+    key is never evicted.  Fired timers are recycled into the simulator's
+    free list — never retain one past its fire.
+
+    Do not ``yield`` a CallbackTimer from a process; use
+    ``sim.timeout`` / ``sim.wakeup_at`` for events processes wait on.
+    """
+
+    __slots__ = ("when", "_fns")
+
+    def __init__(self, sim: "Simulator") -> None:  # noqa: F821
+        self.sim = sim
+        self.callbacks = None
+        self._value = None
+        self._ok = True
+        self._state = TRIGGERED
+        self._defused = False
+        #: The ``sim._wakeups`` key this timer is registered under, or
+        #: ``None`` for standalone (``call_after``) timers.
+        self.when: Optional[float] = None
+        self._fns: list = []
+
+    def _process(self) -> None:
+        sim = self.sim
+        when = self.when
+        if when is not None:
+            self.when = None
+            # Identity-guarded key cleanup: a callback running this
+            # instant may re-register the same timestamp; its successor
+            # must not be evicted by *our* cleanup (the dict-aliasing
+            # pitfall).  Removing the key *before* the call loop keeps
+            # the old shared-wakeup ordering: cleanup first, then
+            # attached actions.
+            wakeups = sim._wakeups
+            if wakeups.get(when) is self:
+                del wakeups[when]
+        self._state = PROCESSED
+        fns = self._fns
+        self._fns = None
+        i = 0
+        n = len(fns)
+        while i < n:
+            fns[i](fns[i + 1])
+            i += 2
+        callbacks = self.callbacks
+        self.callbacks = None
+        if callbacks:
+            # wakeup_at-style waiters ride along after the direct calls.
+            for cb in callbacks:
+                cb(self)
+            callbacks.clear()
+        fns.clear()
+        pool = sim._timer_pool
+        if len(pool) < sim._pool_cap:
+            # Recycle the object *and* its list allocations.
+            self._fns = fns
+            self.callbacks = callbacks
+            pool.append(self)
+
 
 class Interrupt(Exception):
     """Thrown into a process when :meth:`Process.interrupt` is called."""
 
     @property
     def cause(self) -> Any:
-        """The value passed to :meth:`Process.interrupt`."""
-        return self.args[0]
+        """The value passed to :meth:`Process.interrupt` (``None`` when
+        the interrupt was raised without one)."""
+        return self.args[0] if self.args else None
 
 
 class _Initialize(Event):
@@ -352,6 +463,12 @@ class Condition(Event):
 
     def _check(self, event: Event) -> None:
         if self._state != PENDING:
+            # The condition has already fired, but a child failing late
+            # still had a waiter (through this condition): defuse the
+            # stray failure so it cannot crash the run at the child's
+            # dispatch.
+            if not event._ok:
+                event._defused = True
             return
         self._count += 1
         if not event._ok:
@@ -393,7 +510,10 @@ class EngineProfile:
     """
 
     __slots__ = ("dispatched", "dispatch_by_kind", "callbacks_run",
-                 "process_resumes", "heap_high_water")
+                 "process_resumes", "heap_high_water",
+                 "callback_timer_fires", "timer_callbacks_run",
+                 "timeout_pool_reuses", "timer_pool_reuses",
+                 "batches", "batch_size_hist")
 
     def __init__(self) -> None:
         self.dispatched = 0
@@ -405,6 +525,18 @@ class EngineProfile:
         self.process_resumes = 0
         #: Deepest the event heap got (sampled at each pop).
         self.heap_high_water = 0
+        #: :class:`CallbackTimer` dispatches (the resume-free fast path).
+        self.callback_timer_fires = 0
+        #: Direct ``(fn, arg)`` calls made by fired callback timers.
+        self.timer_callbacks_run = 0
+        #: ``sim.timeout`` acquisitions served from the free list.
+        self.timeout_pool_reuses = 0
+        #: Callback-timer acquisitions served from the free list.
+        self.timer_pool_reuses = 0
+        #: Same-``(time, priority)`` dispatch batches drained by run loops.
+        self.batches = 0
+        #: Power-of-two batch-size buckets → batch count.
+        self.batch_size_hist: dict = {}
 
     def note(self, event: Event, heap_depth: int) -> None:
         """Account one event about to be dispatched.
@@ -418,6 +550,15 @@ class EngineProfile:
         kind = type(event).__name__
         by_kind = self.dispatch_by_kind
         by_kind[kind] = by_kind.get(kind, 0) + 1
+        if type(event) is CallbackTimer:
+            self.callback_timer_fires += 1
+            fns = event._fns
+            if fns:
+                self.timer_callbacks_run += len(fns) >> 1
+            callbacks = event.callbacks
+            if callbacks:
+                self.callbacks_run += len(callbacks)
+            return
         callbacks = event.callbacks
         if callbacks:
             self.callbacks_run += len(callbacks)
@@ -425,6 +566,13 @@ class EngineProfile:
             for cb in callbacks:
                 if getattr(cb, "__func__", None) is resume:
                     self.process_resumes += 1
+
+    def note_batch(self, size: int) -> None:
+        """Account one same-instant dispatch batch of ``size`` events."""
+        self.batches += 1
+        bucket = 1 if size <= 1 else 1 << (size - 1).bit_length()
+        hist = self.batch_size_hist
+        hist[bucket] = hist.get(bucket, 0) + 1
 
     def as_dict(self) -> dict:
         """JSON-ready snapshot of the profile."""
@@ -434,4 +582,11 @@ class EngineProfile:
             "callbacks_run": self.callbacks_run,
             "process_resumes": self.process_resumes,
             "heap_high_water": self.heap_high_water,
+            "callback_timer_fires": self.callback_timer_fires,
+            "timer_callbacks_run": self.timer_callbacks_run,
+            "timeout_pool_reuses": self.timeout_pool_reuses,
+            "timer_pool_reuses": self.timer_pool_reuses,
+            "batches": self.batches,
+            "batch_size_hist": {str(k): v for k, v in
+                                sorted(self.batch_size_hist.items())},
         }

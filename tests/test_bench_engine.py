@@ -1,0 +1,69 @@
+"""Fast-tier coverage for the pure-engine micro-benchmark.
+
+Runs ``bench_engine.py --smoke`` so the harness — all three dispatch
+shapes, both pooling modes, and the JSON report shape — cannot rot
+between real benchmark runs, and asserts the EngineProfile evidence
+that each shape exercised the path it claims to.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _load_bench_module():
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        import bench_engine
+        return bench_engine
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+def test_smoke_covers_all_shapes_and_pooling_modes(tmp_path):
+    bench = _load_bench_module()
+    out = tmp_path / "report.json"
+    assert bench.main(["--smoke", "--repeats", "1",
+                       "--output", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "bench_engine"
+    assert report["smoke"] is True
+
+    points = {(p["shape"], p["pooling"]): p for p in report["points"]}
+    assert set(points) == {
+        (shape, pooling)
+        for shape in ("process_sleep", "callback_timer", "coalesced_burst")
+        for pooling in (False, True)
+    }
+
+    for p in points.values():
+        assert p["events"] > 0
+        assert p["events_per_second"] is None or p["events_per_second"] > 0
+
+    # Profile evidence: each shape drove the path it claims to measure.
+    prof = points[("process_sleep", True)]["profile"]
+    assert prof["process_resumes"] > 0
+    assert prof["timeout_pool_reuses"] > 0
+
+    prof = points[("callback_timer", True)]["profile"]
+    assert prof["callback_timer_fires"] > 0
+    assert prof["timer_pool_reuses"] > 0
+    assert prof["process_resumes"] == 0
+
+    prof = points[("coalesced_burst", True)]["profile"]
+    n, m = points[("coalesced_burst", True)]["units"], \
+        points[("coalesced_burst", True)]["ticks"]
+    # Coalescing: n registrations per round share ONE timer dispatch.
+    assert prof["callback_timer_fires"] == m
+    assert prof["timer_callbacks_run"] == n * m
+
+    # Unpooled runs must show zero reuse (the A/B baseline is honest).
+    for shape in ("process_sleep", "callback_timer", "coalesced_burst"):
+        prof = points[(shape, False)]["profile"]
+        assert prof["timeout_pool_reuses"] == 0
+        assert prof["timer_pool_reuses"] == 0
+
+    assert set(report["pooled_speedups"]) == {
+        "process_sleep", "callback_timer", "coalesced_burst"}
